@@ -1,0 +1,37 @@
+"""Figure 3 — suite accuracy per technique.
+
+Regenerates the paper's bar chart and asserts the ordering the paper reports:
+base < fine-tuned < RAG (small gain) << CoT < SCoT, with multi-pass between
+RAG and CoT.
+"""
+
+from repro.experiments import figure3
+
+SAMPLES = 4
+SEED = 1234
+
+
+def test_bench_figure3(once):
+    experiment, results = once(figure3.run, samples_per_task=SAMPLES, base_seed=SEED)
+    print()
+    print(experiment.render())
+    acc = {r.label: r.accuracy() for r in results}
+
+    # Orderings the paper reports (Figure 3 + abstract).
+    assert acc["Base-3B"] < acc["FT"], "fine-tuning must improve over base"
+    assert acc["FT"] < acc["FT+CoT"], "CoT must improve over fine-tuned"
+    assert acc["FT+CoT"] < acc["FT+SCoT"], "SCoT must beat CoT"
+    assert acc["FT"] <= acc["FT+MP3"] + 0.02, "multi-pass must not hurt"
+    # RAG's gain is small (paper: ~4 points), far below CoT's (~32 points).
+    rag_gain = acc["FT+RAG"] - acc["FT"]
+    cot_gain = acc["FT+CoT"] - acc["FT"]
+    assert cot_gain > rag_gain + 0.10, (
+        f"CoT gain {cot_gain:.2f} must dwarf RAG gain {rag_gain:.2f}"
+    )
+    # Absolute bands (paper value +/- 8 points; seeds differ, shape holds).
+    for label, paper in figure3.PAPER_VALUES.items():
+        measured = 100 * acc[label]
+        assert abs(measured - paper) < 8.0, (
+            f"{label}: measured {measured:.1f} vs paper {paper} "
+            "outside the calibration band"
+        )

@@ -1,0 +1,23 @@
+"""Figure 4 — Deutsch-Jozsa under noise, with and without QEC.
+
+Asserts the paper's qualitative claims: the corrected run has a higher
+probability of the expected |000> result and a lower probability of error
+states, via a QEC suppression factor below 1.
+"""
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(once):
+    experiment = once(figure4.run, num_qubits=3, shots=4096, seed=9)
+    print()
+    print(experiment.render())
+    p_noisy = experiment.measured("P(|000>) on noisy Brisbane (b)")
+    p_corrected = experiment.measured("P(|000>) after QEC corrections (c)")
+    assert p_corrected > p_noisy, "QEC must raise the expected-result probability"
+    assert p_noisy > 60.0, "the DJ circuit should still mostly work under noise"
+    assert experiment.measured("average qubit lifetime gain") > 1.5, (
+        "the paper claims extended average qubit lifetime"
+    )
+    reduction = experiment.measured("error probability reduction")
+    assert reduction > 20.0, f"error mass should shrink noticeably, got {reduction}"

@@ -1,0 +1,33 @@
+"""Section V-D — multi-pass inference sweep.
+
+Asserts the saturation property: passes help early then flatten (the paper's
+"additional inference passes ... yielded limited benefit").
+"""
+
+from repro.experiments import multipass
+
+SAMPLES = 4
+SEED = 4321
+
+
+def test_bench_multipass(once):
+    experiment, results = once(
+        multipass.run, max_passes=5, samples_per_task=SAMPLES, base_seed=SEED
+    )
+    print()
+    print(experiment.render())
+    curve = [r.accuracy() for r in results]
+
+    # Monotone non-decreasing up to small repair-regression noise.
+    for i in range(1, len(curve)):
+        assert curve[i] >= curve[i - 1] - 0.03, (
+            f"pass {i+1} regressed: {curve}"
+        )
+    # More passes help overall...
+    assert curve[2] > curve[0], "3 passes must beat single-pass"
+    # ...but saturate: the late gains are smaller than the early gains.
+    early_gain = curve[2] - curve[0]
+    late_gain = curve[4] - curve[2]
+    assert late_gain <= early_gain + 0.01, (
+        f"no saturation: early {early_gain:.3f}, late {late_gain:.3f}"
+    )

@@ -1,0 +1,45 @@
+"""Surface-code threshold exploration with the QEC substrate.
+
+Sweeps physical error rates across code distances and prints the
+logical-vs-physical curves whose crossing is the threshold — the quantitative
+backbone behind the paper's Section V-B "reduce the amount of error" claim.
+
+Run:  python examples/surface_code_threshold.py [--quick]
+"""
+
+import sys
+
+from repro.qec.codes.surface import SurfaceCode
+from repro.qec.experiments import threshold_sweep
+from repro.utils.tables import AsciiTable
+
+
+def main(quick: bool = False) -> None:
+    distances = [3, 5] if quick else [3, 5, 7]
+    rates = [0.005, 0.01, 0.02, 0.04, 0.08] if not quick else [0.01, 0.04]
+    shots = 80 if quick else 300
+    print(
+        f"Phenomenological memory experiment, MWPM decoder, rounds = distance, "
+        f"{shots} shots per point.\n"
+    )
+    sweep = threshold_sweep(
+        SurfaceCode, distances, rates, shots=shots, seed=1
+    )
+    table = AsciiTable(
+        ["p_physical"] + [f"d={d}" for d in distances],
+        title="Logical error rate by distance (crossing ~ threshold)",
+    )
+    for i, p in enumerate(rates):
+        row = [f"{p:.3f}"]
+        for d in distances:
+            row.append(f"{sweep[d][i][1]:.3f}")
+        table.add_row(row)
+    print(table.render())
+    print(
+        "\nBelow threshold (~3% for this noise model) larger distances win; "
+        "above it they lose — the defining signature of a QEC code."
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

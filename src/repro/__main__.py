@@ -1,0 +1,7 @@
+"""``python -m repro`` — route to the CLI."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

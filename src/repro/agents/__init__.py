@@ -1,0 +1,29 @@
+"""The multi-agent framework: codegen, semantic analyzer, QEC agent, orchestrator."""
+
+from repro.agents.base import Agent, AgentMessage, EpisodeLog
+from repro.agents.codegen import CodeGenerationAgent, GenerationRequest
+from repro.agents.orchestrator import Orchestrator, QuantumProgramArtifact
+from repro.agents.qec_agent import QECAgent, QECApplication
+from repro.agents.sandbox import ExecutionResult, run_code
+from repro.agents.semantic import (
+    AnalysisReport,
+    RefinementResult,
+    SemanticAnalyzerAgent,
+)
+
+__all__ = [
+    "Agent",
+    "AgentMessage",
+    "AnalysisReport",
+    "CodeGenerationAgent",
+    "EpisodeLog",
+    "ExecutionResult",
+    "GenerationRequest",
+    "Orchestrator",
+    "QECAgent",
+    "QECApplication",
+    "QuantumProgramArtifact",
+    "RefinementResult",
+    "SemanticAnalyzerAgent",
+    "run_code",
+]

@@ -1,0 +1,50 @@
+"""Agent protocol: message types shared by the multi-agent framework.
+
+The orchestrator (Fig. 1 of the paper) moves :class:`AgentMessage` objects
+between three agents; each agent consumes a message and returns a new one.
+Keeping the protocol explicit makes the pipeline inspectable: every
+experiment report can show the full message log of a generation episode.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+
+@dataclass
+class AgentMessage:
+    """One step in an agent conversation."""
+
+    sender: str
+    kind: str  # 'prompt' | 'code' | 'analysis' | 'repair_request' | 'qec' ...
+    content: str
+    metadata: dict = field(default_factory=dict)
+
+    def brief(self) -> str:
+        head = self.content.strip().splitlines()[0] if self.content.strip() else ""
+        return f"[{self.sender}/{self.kind}] {head[:80]}"
+
+
+class Agent(abc.ABC):
+    """Base class: every agent has a name and handles messages."""
+
+    name: str = "agent"
+
+    @abc.abstractmethod
+    def handle(self, message: AgentMessage) -> AgentMessage:
+        """Consume a message, return the response message."""
+
+
+@dataclass
+class EpisodeLog:
+    """The transcript of one orchestrated generation episode."""
+
+    messages: list[AgentMessage] = field(default_factory=list)
+
+    def record(self, message: AgentMessage) -> AgentMessage:
+        self.messages.append(message)
+        return message
+
+    def render(self) -> str:
+        return "\n".join(m.brief() for m in self.messages)

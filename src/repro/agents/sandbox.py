@@ -1,0 +1,121 @@
+"""Restricted execution of generated code.
+
+The semantic analyzer (Agent #2) must *run* candidate programs to catch real
+errors with real tracebacks — that is what the multi-pass template feeds back
+into the model.  The sandbox:
+
+* whitelists imports (``repro.quantum`` and stdlib ``math`` only — everything
+  a generated quantum program legitimately needs);
+* blocks filesystem/OS access by exposing a minimal builtins surface;
+* captures the exception type, message and a compact traceback string.
+
+This is *robustness* sandboxing against accident-prone generated code, not a
+security boundary against adversarial code.
+"""
+
+from __future__ import annotations
+
+import builtins
+import io
+import traceback
+from contextlib import redirect_stdout
+from dataclasses import dataclass, field
+
+from repro.errors import SandboxError
+
+ALLOWED_IMPORT_PREFIXES = ("repro.quantum", "repro.errors", "math")
+
+_SAFE_BUILTIN_NAMES = (
+    "abs", "all", "any", "bin", "bool", "dict", "divmod", "enumerate",
+    "filter", "float", "format", "frozenset", "getattr", "hasattr", "hash",
+    "int", "isinstance", "issubclass", "iter", "len", "list", "map", "max",
+    "min", "next", "pow", "print", "range", "repr", "reversed", "round",
+    "set", "setattr", "sorted", "str", "sum", "tuple", "zip", "True",
+    "False", "None", "ValueError", "TypeError", "KeyError", "IndexError",
+    "AttributeError", "RuntimeError", "Exception", "ZeroDivisionError",
+    "StopIteration", "NameError",
+)
+
+
+def _restricted_import(name, globals=None, locals=None, fromlist=(), level=0):
+    if not any(
+        name == prefix or name.startswith(prefix + ".")
+        for prefix in ALLOWED_IMPORT_PREFIXES
+    ):
+        raise SandboxError(
+            f"import of '{name}' is not allowed in the execution sandbox"
+        )
+    return builtins.__import__(name, globals, locals, fromlist, level)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one generated program."""
+
+    ok: bool
+    namespace: dict = field(default_factory=dict)
+    stdout: str = ""
+    exception_type: str | None = None
+    exception_message: str | None = None
+    trace: str = ""
+
+    def artifact(self, name: str):
+        """Fetch a variable the generated program defined (or None)."""
+        return self.namespace.get(name)
+
+
+def run_code(code: str, timeout_instructions: int = 10_000_000) -> ExecutionResult:
+    """Compile and execute generated code in the sandbox.
+
+    Returns a failed :class:`ExecutionResult` (never raises) for any error in
+    the candidate program, including syntax errors — the trace string is what
+    the repair loop consumes.
+    """
+    safe_builtins = {name: getattr(builtins, name) for name in _SAFE_BUILTIN_NAMES
+                     if hasattr(builtins, name)}
+    safe_builtins["True"] = True
+    safe_builtins["False"] = False
+    safe_builtins["None"] = None
+    safe_builtins["__import__"] = _restricted_import
+    namespace: dict = {"__builtins__": safe_builtins, "__name__": "__generated__"}
+    buffer = io.StringIO()
+    try:
+        compiled = compile(code, "<generated>", "exec")
+    except SyntaxError as exc:
+        trace = f"SyntaxError: {exc.msg} (line {exc.lineno})"
+        return ExecutionResult(
+            ok=False,
+            exception_type="SyntaxError",
+            exception_message=str(exc.msg),
+            trace=trace,
+        )
+    try:
+        with redirect_stdout(buffer):
+            exec(compiled, namespace)  # noqa: S102 - the sandbox is the point
+    except Exception as exc:  # noqa: BLE001 - everything must be captured
+        tb_lines = traceback.format_exception_only(type(exc), exc)
+        frame_lines = [
+            line
+            for line in traceback.format_exc().splitlines()
+            if "<generated>" in line
+        ]
+        trace = "\n".join(frame_lines[-2:] + [line.rstrip() for line in tb_lines])
+        return ExecutionResult(
+            ok=False,
+            namespace=_strip(namespace),
+            stdout=buffer.getvalue(),
+            exception_type=type(exc).__name__,
+            exception_message=str(exc),
+            trace=trace,
+        )
+    return ExecutionResult(
+        ok=True, namespace=_strip(namespace), stdout=buffer.getvalue()
+    )
+
+
+def _strip(namespace: dict) -> dict:
+    return {
+        k: v
+        for k, v in namespace.items()
+        if k not in ("__builtins__", "__name__")
+    }

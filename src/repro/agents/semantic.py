@@ -1,0 +1,299 @@
+"""Agent #2 — the semantic analyzer with multi-pass refinement.
+
+Responsibilities (paper Sections III-A and IV-A):
+
+* execute candidate code in the sandbox and classify the outcome
+  (syntactic failure with trace / runs clean);
+* when a reference behaviour is available, grade semantics by comparing
+  measured distributions (or statevectors);
+* drive the iterative multi-pass loop: prompt + code + trace -> repair ->
+  re-execute, up to ``max_passes`` times, recording every pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.base import Agent, AgentMessage
+from repro.agents.codegen import CodeGenerationAgent, GenerationRequest
+from repro.agents.sandbox import ExecutionResult, run_code
+from repro.llm.model import Completion
+from repro.prompts.templates import render_multipass, render_semantic_feedback
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.statevector import Statevector
+from repro.utils.stats import total_variation_distance
+
+#: Max TVD between candidate and reference distributions to count as correct.
+SEMANTIC_TVD_THRESHOLD = 0.10
+#: Shots used when re-simulating candidate circuits for grading.
+GRADING_SHOTS = 4096
+GRADING_SEED = 20_25
+
+
+@dataclass
+class AnalysisReport:
+    """Grading outcome for one candidate program."""
+
+    syntactic_ok: bool
+    semantic_ok: bool | None  # None when no reference was available
+    execution: ExecutionResult
+    tvd: float | None = None
+    detail: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return self.syntactic_ok and (self.semantic_ok is not False)
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of the multi-pass loop."""
+
+    final_code: str
+    final_completion: Completion
+    report: AnalysisReport
+    passes_used: int
+    pass_reports: list[AnalysisReport] = field(default_factory=list)
+    repair_log: list[str] = field(default_factory=list)
+
+
+class SemanticAnalyzerAgent(Agent):
+    """Sandboxed execution, semantic grading, and the repair loop."""
+
+    name = "semantic_analyzer"
+
+    def __init__(
+        self,
+        tvd_threshold: float = SEMANTIC_TVD_THRESHOLD,
+        shots: int = GRADING_SHOTS,
+        fidelity_threshold: float = 0.99,
+    ) -> None:
+        self.tvd_threshold = tvd_threshold
+        self.shots = shots
+        self.fidelity_threshold = fidelity_threshold
+
+    # -- grading ---------------------------------------------------------------
+
+    def analyze(
+        self,
+        code: str,
+        reference_code: str | None = None,
+        checker=None,
+    ) -> AnalysisReport:
+        """Run the candidate; grade against a reference program if given.
+
+        ``checker`` overrides distribution comparison with a custom
+        predicate on the candidate namespace (used by I/O-style tasks).
+        """
+        execution = run_code(code)
+        if not execution.ok:
+            return AnalysisReport(
+                syntactic_ok=False,
+                semantic_ok=None,
+                execution=execution,
+                detail=execution.trace,
+            )
+        if checker is not None:
+            try:
+                ok = bool(checker(execution.namespace))
+            except Exception as exc:  # noqa: BLE001 - checker bugs = failure
+                return AnalysisReport(
+                    syntactic_ok=True,
+                    semantic_ok=False,
+                    execution=execution,
+                    detail=f"checker raised: {exc}",
+                )
+            return AnalysisReport(
+                syntactic_ok=True,
+                semantic_ok=ok,
+                execution=execution,
+                detail="custom checker",
+            )
+        if reference_code is None:
+            return AnalysisReport(
+                syntactic_ok=True, semantic_ok=None, execution=execution
+            )
+        reference = run_code(reference_code)
+        if not reference.ok:
+            raise RuntimeError(
+                f"reference program failed to execute: {reference.trace}"
+            )
+        return self._compare(execution, reference)
+
+    def _compare(
+        self, candidate: ExecutionResult, reference: ExecutionResult
+    ) -> AnalysisReport:
+        """Grade candidate behaviour against the reference program.
+
+        Statevector tasks (reference produces a pure state, no measurement)
+        are graded by fidelity — probability distributions are blind to
+        relative phases, which is exactly what distinguishes e.g. a QFT with
+        and without its bit-reversal swaps.  Sampling tasks are graded by
+        total variation distance between output distributions.
+        """
+        ref_state = self._statevector(reference)
+        if ref_state is not None:
+            cand_state = self._statevector(candidate)
+            if cand_state is None:
+                return AnalysisReport(
+                    syntactic_ok=True,
+                    semantic_ok=False,
+                    execution=candidate,
+                    detail="task expects a statevector; candidate produced none",
+                )
+            if cand_state.num_qubits != ref_state.num_qubits:
+                return AnalysisReport(
+                    syntactic_ok=True,
+                    semantic_ok=False,
+                    execution=candidate,
+                    detail=(
+                        f"state has {cand_state.num_qubits} qubits, expected "
+                        f"{ref_state.num_qubits}"
+                    ),
+                )
+            fidelity = ref_state.fidelity(cand_state)
+            return AnalysisReport(
+                syntactic_ok=True,
+                semantic_ok=fidelity >= self.fidelity_threshold,
+                execution=candidate,
+                tvd=1.0 - fidelity,
+                detail=f"fidelity={fidelity:.4f} (threshold {self.fidelity_threshold})",
+            )
+        cand_dist = self._distribution(candidate)
+        ref_dist = self._distribution(reference)
+        if cand_dist is None or ref_dist is None:
+            ok = cand_dist is not None or ref_dist is None
+            return AnalysisReport(
+                syntactic_ok=True,
+                semantic_ok=ok and cand_dist == ref_dist,
+                execution=candidate,
+                detail="no comparable artifact (qc/state/counts) found",
+            )
+        tvd = total_variation_distance(cand_dist, ref_dist)
+        return AnalysisReport(
+            syntactic_ok=True,
+            semantic_ok=tvd <= self.tvd_threshold,
+            execution=candidate,
+            tvd=tvd,
+            detail=f"TVD={tvd:.4f} (threshold {self.tvd_threshold})",
+        )
+
+    def _statevector(self, execution: ExecutionResult) -> Statevector | None:
+        """A pure-state artifact, when the program produced one."""
+        state = execution.artifact("state")
+        if isinstance(state, Statevector):
+            return state
+        qc = execution.artifact("qc")
+        if isinstance(qc, QuantumCircuit) and not qc.has_measurements():
+            try:
+                return Statevector.from_circuit(qc)
+            except Exception:  # noqa: BLE001 - unsimulable = no artifact
+                return None
+        return None
+
+    def _distribution(self, execution: ExecutionResult) -> dict[str, float] | None:
+        """Extract a comparable outcome distribution from a namespace.
+
+        Preference order: re-simulate ``qc`` deterministically (immune to the
+        candidate having used different shots), else ``state`` probabilities,
+        else the program's own ``counts``.
+        """
+        qc = execution.artifact("qc")
+        if isinstance(qc, QuantumCircuit):
+            dist = self._simulate(qc)
+            if dist is not None:
+                return dist
+        state = execution.artifact("state")
+        if isinstance(state, Statevector):
+            return state.probabilities_dict()
+        counts = execution.artifact("counts")
+        if isinstance(counts, dict) and counts:
+            total = sum(counts.values())
+            return {str(k): v / total for k, v in counts.items()}
+        return None
+
+    def _simulate(self, qc: QuantumCircuit) -> dict[str, float] | None:
+        from repro.quantum.backend import LocalSimulator
+
+        try:
+            if not qc.has_measurements():
+                return Statevector.from_circuit(qc).probabilities_dict()
+            result = (
+                LocalSimulator()
+                .run(qc, shots=self.shots, seed=GRADING_SEED)
+                .result()
+            )
+            counts = result.get_counts()
+        except Exception:  # noqa: BLE001 - unsimulable circuit = no artifact
+            return None
+        total = sum(counts.values())
+        return {k: v / total for k, v in counts.items()}
+
+    # -- the multi-pass loop --------------------------------------------------------
+
+    def refine(
+        self,
+        codegen: CodeGenerationAgent,
+        request: GenerationRequest,
+        completion: Completion,
+        reference_code: str | None = None,
+        checker=None,
+        max_passes: int = 3,
+        semantic_feedback: bool = False,
+    ) -> RefinementResult:
+        """Iteratively repair a completion (paper Section IV-A).
+
+        ``max_passes`` counts total inference passes including the first
+        generation, matching the paper's "triple passes" = generate + 2
+        repairs... the paper is ambiguous; here pass 1 is the initial
+        generation and each subsequent pass is one repair attempt.
+        """
+        report = self.analyze(completion.code, reference_code, checker)
+        pass_reports = [report]
+        repair_log: list[str] = []
+        passes = 1
+        while passes < max_passes and not report.passed:
+            if not report.syntactic_ok:
+                rendered = render_multipass(
+                    request.prompt_text, completion.code, report.execution.trace
+                )
+                repair_log.append(rendered.text[:200])
+                completion = codegen.repair(
+                    request, completion, report.execution.trace
+                )
+            elif semantic_feedback and report.semantic_ok is False:
+                rendered = render_semantic_feedback(
+                    request.prompt_text, completion.code, report.detail
+                )
+                repair_log.append(rendered.text[:200])
+                completion = codegen.repair(
+                    request, completion, report.detail, semantic_feedback=True
+                )
+            else:
+                break
+            report = self.analyze(completion.code, reference_code, checker)
+            pass_reports.append(report)
+            passes += 1
+        return RefinementResult(
+            final_code=completion.code,
+            final_completion=completion,
+            report=report,
+            passes_used=passes,
+            pass_reports=pass_reports,
+            repair_log=repair_log,
+        )
+
+    # -- message protocol --------------------------------------------------------------
+
+    def handle(self, message: AgentMessage) -> AgentMessage:
+        report = self.analyze(
+            message.content,
+            reference_code=message.metadata.get("reference_code"),
+            checker=message.metadata.get("checker"),
+        )
+        return AgentMessage(
+            sender=self.name,
+            kind="analysis",
+            content=report.detail or ("ok" if report.passed else "failed"),
+            metadata={"report": report},
+        )

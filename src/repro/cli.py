@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``            list the available experiment drivers
+``run <name>``             run one driver (figure2, figure3, figure4,
+                           table1, multipass, ablations)
+``report [path]``          regenerate EXPERIMENTS.md
+``eval <arm>``             evaluate one pipeline arm on the test suite
+                           (arm = base | ft | rag | cot | scot | mp3)
+``demo``                   one multi-agent generation episode, verbose
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+EXPERIMENTS = ("figure2", "figure3", "figure4", "table1", "multipass", "ablations")
+
+ARMS = {
+    "base": dict(fine_tuned=False),
+    "ft": dict(fine_tuned=True),
+    "rag": dict(fine_tuned=True, rag_docs=True, rag_guides=True),
+    "cot": dict(fine_tuned=True, prompt_style="cot"),
+    "scot": dict(fine_tuned=True, prompt_style="scot"),
+    "mp3": dict(fine_tuned=True),
+}
+
+
+def _cmd_experiments(_args) -> int:
+    for name in EXPERIMENTS:
+        print(f"  {name:10s}  python -m repro.experiments.{name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    import importlib
+
+    if args.name not in EXPERIMENTS:
+        print(f"unknown experiment '{args.name}'; choose from {EXPERIMENTS}")
+        return 2
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.generate_report import collect, render
+
+    sections = collect(samples_per_task=args.samples)
+    with open(args.path, "w") as handle:
+        handle.write(render(sections))
+    print(f"wrote {args.path} ({len(sections)} sections)")
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    from repro.evalsuite import (
+        PipelineSettings,
+        build_suite,
+        comparison_table,
+        evaluate,
+    )
+    from repro.llm.faults import ModelConfig
+
+    if args.arm not in ARMS:
+        print(f"unknown arm '{args.arm}'; choose from {sorted(ARMS)}")
+        return 2
+    settings = PipelineSettings(
+        ModelConfig("3b", **ARMS[args.arm]),
+        max_passes=3 if args.arm == "mp3" else 1,
+        samples_per_task=args.samples,
+        label=args.arm,
+    )
+    result = evaluate(settings, build_suite())
+    print(comparison_table([result]).render())
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro.agents import Orchestrator
+    from repro.llm import make_model, synthesize
+
+    orchestrator = Orchestrator(
+        model=make_model(fine_tuned=True, prompt_style="scot"), max_passes=3
+    )
+    artifact = orchestrator.run_episode(
+        "Implement Grover search over 3 qubits for the marked state 101, "
+        "using the optimal number of iterations.",
+        params={"marked": "101"},
+        reference_code=synthesize("grover", {"marked": "101"}, "correct"),
+        seed=args.seed,
+    )
+    print(artifact.log.render())
+    print(f"\naccepted: {artifact.accepted}")
+    print("\n--- generated program ---")
+    print(artifact.code)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DAC-2025 quantum-codegen reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment drivers")
+
+    run_parser = sub.add_parser("run", help="run one experiment driver")
+    run_parser.add_argument("name")
+
+    report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
+    report_parser.add_argument("--samples", type=int, default=6)
+
+    eval_parser = sub.add_parser("eval", help="evaluate one arm on the suite")
+    eval_parser.add_argument("arm")
+    eval_parser.add_argument("--samples", type=int, default=4)
+
+    demo_parser = sub.add_parser("demo", help="one verbose generation episode")
+    demo_parser.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "experiments": _cmd_experiments,
+        "run": _cmd_run,
+        "report": _cmd_report,
+        "eval": _cmd_eval,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""The unbiased pass@k estimator (Chen et al., 2021 — paper reference [20]).
+
+pass@k = E[1 - C(n - c, k) / C(n, k)] over tasks, where n samples were drawn
+per task and c of them were correct.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import EvaluationError
+
+
+def pass_at_k(num_samples: int, num_correct: int, k: int) -> float:
+    """Unbiased single-task pass@k."""
+    if num_samples < 1 or k < 1:
+        raise EvaluationError("pass@k needs num_samples >= 1 and k >= 1")
+    if num_correct < 0 or num_correct > num_samples:
+        raise EvaluationError(
+            f"num_correct {num_correct} out of range for {num_samples} samples"
+        )
+    if k > num_samples:
+        raise EvaluationError(f"k={k} exceeds num_samples={num_samples}")
+    if num_samples - num_correct < k:
+        return 1.0
+    return 1.0 - math.comb(num_samples - num_correct, k) / math.comb(num_samples, k)
+
+
+def mean_pass_at_k(results: list[tuple[int, int]], k: int) -> float:
+    """Average pass@k across tasks given [(n, c), ...]."""
+    if not results:
+        raise EvaluationError("no task results to aggregate")
+    return sum(pass_at_k(n, c, k) for n, c in results) / len(results)

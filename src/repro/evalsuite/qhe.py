@@ -1,0 +1,155 @@
+"""A Qiskit-HumanEval-style benchmark bank (paper reference [21], Table I).
+
+QHE's published character: 151 handwritten tasks, heavily weighted toward
+library usage (circuit construction, execution, transpilation, serialisation)
+rather than deep algorithmic reasoning — which is why the paper's models show
+*lower* scores here than on the semantics-heavy custom suite, and why RAG
+over API docs helps QHE more (Section V-C).
+
+This bank mirrors that composition at reproducible scale: 40 tasks with a
+60/30/10 basic/intermediate/advanced mix, graded identically to the custom
+suite, and evaluated with the ``qhe`` fault profile.
+"""
+
+from __future__ import annotations
+
+from repro.evalsuite.suite import Task, build_task
+from repro.prompts.bank import PromptCase
+
+_QHE_TEMPLATES: list[tuple[str, str, str, dict]] = [
+    # (family, tier, text, params) — texts phrased the terse QHE way.
+    ("superposition", "basic",
+     "Write a function body that creates a one-qubit circuit in equal "
+     "superposition using a hadamard and measures it, returning counts.", {}),
+    ("superposition", "basic",
+     "Construct a single qubit circuit showing 50/50 measurement statistics "
+     "with a hadamard gate and simulator counts.", {}),
+    ("bell", "basic",
+     "Create a bell state on qubits 0 and 1, measure both, return the "
+     "counts dictionary.", {}),
+    ("bell", "basic",
+     "Build the Phi+ bell pair circuit with measurement and execute it on "
+     "the simulator for the counts.", {}),
+    ("ghz", "basic",
+     "Prepare a 3 qubit GHZ cat state circuit with measurements and run it.",
+     {"n": 3}),
+    ("ghz", "basic",
+     "Write code producing a 5-qubit GHZ cat state and measuring every "
+     "qubit.", {"n": 5}),
+    ("basis_prep", "basic",
+     "Initialize the computational basis state 011 by applying X gates, "
+     "measure all qubits.", {"bits": "011"}),
+    ("basis_prep", "basic",
+     "Prepare basis state 1001 on four qubits with X gates and measure.",
+     {"bits": "1001"}),
+    ("rotation", "basic",
+     "Apply ry rotation with angle theta=0.9 to qubit 0 and measure the "
+     "rotated qubit.", {"theta": 0.9}),
+    ("rotation", "basic",
+     "Rotate a qubit about Y by 1.5 radians and sample its measurement "
+     "distribution.", {"theta": 1.5}),
+    ("statevector", "basic",
+     "Return the statevector of the two-qubit circuit preparing 10 without "
+     "measuring.", {"label": "10"}),
+    ("statevector", "basic",
+     "Get the state vector amplitudes of a three-qubit circuit preparing "
+     "001.", {"label": "001"}),
+    ("device_run", "basic",
+     "Transpile a 3-qubit entangling circuit for the Brisbane backend and "
+     "run it on the device.", {"n": 3}),
+    ("device_run", "basic",
+     "Submit a 2-qubit circuit to the fake Brisbane hardware backend, "
+     "respecting its coupling map.", {"n": 2}),
+    ("qasm_io", "basic",
+     "Export a measured bell circuit to OpenQASM 2 and parse it back.", {}),
+    ("qasm_io", "basic",
+     "Serialize a two-qubit circuit to qasm text and reload it as a "
+     "circuit object.", {}),
+    ("superposition", "basic",
+     "Make a quantum coin flip: hadamard a qubit, measure, run 2048 shots "
+     "and return counts.", {}),
+    ("bell", "basic",
+     "Entangle two qubits so their measurements are perfectly correlated; "
+     "return simulator counts.", {}),
+    ("ghz", "basic",
+     "Create a 4 qubit GHZ cat state with a hadamard and a CNOT chain, then "
+     "measure all qubits.", {"n": 4}),
+    ("basis_prep", "basic",
+     "Prepare the basis state 110 and verify via measurement counts.",
+     {"bits": "110"}),
+    ("rotation", "basic",
+     "Use an ry gate with angle 2.2 and estimate P(1) from measurement "
+     "counts.", {"theta": 2.2}),
+    ("statevector", "basic",
+     "Compute the statevector of circuit preparing state 11 without "
+     "measurement.", {"label": "11"}),
+    ("device_run", "basic",
+     "Run a GHZ-3 circuit on the fake Brisbane device backend after "
+     "transpiling.", {"n": 3}),
+    ("qasm_io", "basic",
+     "Round-trip a bell circuit through OpenQASM serialization.", {}),
+    # -- intermediate ---------------------------------------------------------
+    ("qft", "intermediate",
+     "Implement the 3-qubit quantum fourier transform with final swaps and "
+     "return its statevector.", {"n": 3}),
+    ("qft", "intermediate",
+     "Build the QFT circuit on 4 qubits using controlled phase gates.",
+     {"n": 4}),
+    ("deutsch_jozsa", "intermediate",
+     "Implement deutsch-jozsa with a constant-1 oracle on 3 inputs and "
+     "measure the input register.", {"n": 3, "kind": "constant1"}),
+    ("deutsch_jozsa", "intermediate",
+     "Write the deutsch-jozsa circuit for a balanced oracle over 2 input "
+     "qubits.", {"n": 2, "kind": "balanced"}),
+    ("bernstein_vazirani", "intermediate",
+     "Find the secret string 110 with one bernstein-vazirani query.",
+     {"secret": "110"}),
+    ("bernstein_vazirani", "intermediate",
+     "Implement bernstein-vazirani to reveal the hidden bitstring 1010.",
+     {"secret": "1010"}),
+    ("grover", "intermediate",
+     "Run grover search for the marked element 10 on two qubits.",
+     {"marked": "10"}),
+    ("grover", "intermediate",
+     "Use grover amplitude amplification on 3 qubits to find 111.",
+     {"marked": "111"}),
+    ("qft", "intermediate",
+     "Apply a 2-qubit quantum fourier transform and return the "
+     "statevector.", {"n": 2}),
+    ("deutsch_jozsa", "intermediate",
+     "Determine whether a constant-0 oracle on two inputs is constant or "
+     "balanced with deutsch-jozsa.", {"n": 2, "kind": "constant0"}),
+    ("bernstein_vazirani", "intermediate",
+     "Recover secret 011 using the bernstein-vazirani oracle circuit.",
+     {"secret": "011"}),
+    ("grover", "intermediate",
+     "Search for the marked state 01 using grover iterations on 2 qubits.",
+     {"marked": "01"}),
+    # -- advanced ----------------------------------------------------------------
+    ("teleportation", "advanced",
+     "Teleport the state u(0.8, 0.3, 0)|0> from alice's qubit to bob's "
+     "using a bell measurement and conditioned corrections.",
+     {"theta": 0.8, "phi": 0.3}),
+    ("superdense", "advanced",
+     "Transmit the classical bits 11 with superdense coding over a shared "
+     "bell pair.", {"bits": "11"}),
+    ("phase_estimation", "advanced",
+     "Use quantum phase estimation with 3 counting qubits to estimate the "
+     "phase 0.125.", {"phase": 0.125, "n": 3}),
+    ("quantum_walk", "advanced",
+     "Simulate a 2-step coined quantum walk on a 4-cycle and measure the "
+     "walker position.", {"steps": 2}),
+]
+
+
+def qhe_cases() -> list[PromptCase]:
+    """The QHE-style prompt cases."""
+    return [
+        PromptCase(f"qhe-{i:02d}", tier, family, text, params)
+        for i, (family, tier, text, params) in enumerate(_QHE_TEMPLATES, start=1)
+    ]
+
+
+def build_qhe() -> list[Task]:
+    """All graded QHE-style tasks."""
+    return [build_task(case) for case in qhe_cases()]

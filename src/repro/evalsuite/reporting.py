@@ -1,0 +1,62 @@
+"""Rendering evaluation results as the paper's tables and bar charts."""
+
+from __future__ import annotations
+
+from repro.evalsuite.runner import EvalResult
+from repro.utils.tables import AsciiTable, format_histogram
+
+
+def comparison_table(
+    results: list[EvalResult], title: str = "Accuracy by technique"
+) -> AsciiTable:
+    """One row per arm: accuracy, syntactic accuracy, per-tier split."""
+    table = AsciiTable(
+        ["Arm", "Accuracy", "Syntactic", "Basic", "Intermediate", "Advanced"],
+        title=title,
+    )
+    for result in results:
+        tiers = result.accuracy_by_tier()
+        low, high = result.confidence_interval()
+        table.add_row(
+            [
+                result.label,
+                f"{result.accuracy():.1%} [{low:.0%},{high:.0%}]",
+                f"{result.syntactic_accuracy():.1%}",
+                f"{tiers.get('basic', 0.0):.1%}",
+                f"{tiers.get('intermediate', 0.0):.1%}",
+                f"{tiers.get('advanced', 0.0):.1%}",
+            ]
+        )
+    return table
+
+
+def accuracy_bars(results: list[EvalResult], title: str) -> str:
+    """Figure-3 style horizontal bar chart of arm accuracies."""
+    return format_histogram(
+        {r.label: max(r.accuracy(), 1e-9) for r in results},
+        title=title,
+        sort_by_key=False,
+    )
+
+
+def per_family_table(result: EvalResult) -> AsciiTable:
+    """Per-family success detail for one arm (debugging aid)."""
+    table = AsciiTable(
+        ["Family", "Tasks", "Samples", "Syntactic", "Full"],
+        title=f"Per-family detail: {result.label}",
+    )
+    by_family: dict[str, list] = {}
+    for o in result.outcomes:
+        by_family.setdefault(o.family, []).append(o)
+    for family, group in sorted(by_family.items()):
+        samples = sum(o.samples for o in group)
+        table.add_row(
+            [
+                family,
+                len(group),
+                samples,
+                f"{sum(o.syntactic_successes for o in group) / samples:.0%}",
+                f"{sum(o.full_successes for o in group) / samples:.0%}",
+            ]
+        )
+    return table

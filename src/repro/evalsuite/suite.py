@@ -1,0 +1,75 @@
+"""Graded task construction for the paper-style test suite.
+
+A :class:`Task` is a prompt case plus its *answer*: the canonical reference
+program (the prompt-answer pairs of paper Section III-B) and, for I/O-style
+families, a custom namespace checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.llm.synthesis import synthesize
+from repro.prompts.bank import PromptCase, suite_cases
+from repro.quantum.circuit import QuantumCircuit
+
+Checker = Callable[[dict], bool]
+
+
+@dataclass(frozen=True)
+class Task:
+    """One gradeable unit: prompt + reference + optional custom checker."""
+
+    case: PromptCase
+    reference_code: str
+    checker: Checker | None = None
+
+    @property
+    def case_id(self) -> str:
+        return self.case.case_id
+
+    @property
+    def tier(self) -> str:
+        return self.case.tier
+
+
+def _qasm_checker(namespace: dict) -> bool:
+    """The qasm_io family grader: the round trip must reproduce the circuit.
+
+    Checks: a circuit ``qc`` with the expected Bell+measure structure exists,
+    and ``qc2`` (parsed back from the exported text) equals it.
+    """
+    qc = namespace.get("qc")
+    qc2 = namespace.get("qc2")
+    text = namespace.get("qasm_text")
+    if not isinstance(qc, QuantumCircuit) or not isinstance(qc2, QuantumCircuit):
+        return False
+    if not isinstance(text, str) or "OPENQASM" not in text:
+        return False
+    if qc2 != qc:
+        return False
+    names = [i.name for i in qc if i.name != "barrier"]
+    return names[:2] == ["h", "cx"] and names.count("measure") == 2 and (
+        qc.instructions[1].qubits == (0, 1)
+    )
+
+
+_CHECKERS: dict[str, Checker] = {
+    "qasm_io": _qasm_checker,
+}
+
+
+def build_task(case: PromptCase) -> Task:
+    """Attach the canonical answer and checker to a prompt case."""
+    reference = synthesize(case.family, dict(case.params), "correct")
+    return Task(
+        case=case,
+        reference_code=reference,
+        checker=_CHECKERS.get(case.family),
+    )
+
+
+def build_suite() -> list[Task]:
+    """All 34 graded tasks of the paper-style suite."""
+    return [build_task(case) for case in suite_cases()]

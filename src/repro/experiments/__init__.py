@@ -1,0 +1,5 @@
+"""Experiment drivers: one module per paper table/figure (see DESIGN.md)."""
+
+from repro.experiments.common import ExperimentResult, ExperimentRow
+
+__all__ = ["ExperimentResult", "ExperimentRow"]

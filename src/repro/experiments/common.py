@@ -1,0 +1,67 @@
+"""Shared infrastructure for the per-figure/table experiment drivers.
+
+Each driver returns a structured result and can render a paper-vs-measured
+table; EXPERIMENTS.md is generated from exactly these outputs, so the
+documented numbers can never drift from what the code produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import AsciiTable
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a paper-vs-measured comparison."""
+
+    name: str
+    paper_value: float | None
+    measured_value: float
+    unit: str = "%"
+    note: str = ""
+
+    def formatted(self) -> list[str]:
+        paper = f"{self.paper_value:.1f}{self.unit}" if self.paper_value is not None else "-"
+        return [self.name, paper, f"{self.measured_value:.1f}{self.unit}", self.note]
+
+
+@dataclass
+class ExperimentResult:
+    """A named experiment with paper-vs-measured rows and free-form extras."""
+
+    experiment_id: str
+    title: str
+    rows: list[ExperimentRow] = field(default_factory=list)
+    extras: list[str] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        paper: float | None,
+        measured: float,
+        unit: str = "%",
+        note: str = "",
+    ) -> None:
+        self.rows.append(ExperimentRow(name, paper, measured, unit, note))
+
+    def table(self) -> AsciiTable:
+        table = AsciiTable(
+            ["Series", "Paper", "Measured", "Note"],
+            title=f"{self.experiment_id}: {self.title}",
+        )
+        for row in self.rows:
+            table.add_row(row.formatted())
+        return table
+
+    def render(self) -> str:
+        parts = [self.table().render()]
+        parts.extend(self.extras)
+        return "\n\n".join(parts)
+
+    def measured(self, name: str) -> float:
+        for row in self.rows:
+            if row.name == name:
+                return row.measured_value
+        raise KeyError(f"no row named '{name}' in {self.experiment_id}")

@@ -1,0 +1,40 @@
+"""The simulated code LLM: corpus, fine-tuning, knowledge, generation, repair."""
+
+from repro.llm.corpus import CorpusFile, build_corpus
+from repro.llm.faults import ModelConfig, resolve_rates
+from repro.llm.finetune import (
+    DatasetConfig,
+    FineTuneReport,
+    TrainingConfig,
+    filter_files,
+    fine_tune,
+)
+from repro.llm.knowledge import DEFAULT_KNOWLEDGE, AlgorithmSpec, KnowledgeBase
+from repro.llm.model import Completion, SimulatedCodeLLM, make_model
+from repro.llm.ngram import NgramModel
+from repro.llm.synthesis import synthesize, synthesize_nonsense
+from repro.llm.tokenizer import count_tokens, detokenize, tokenize
+
+__all__ = [
+    "AlgorithmSpec",
+    "Completion",
+    "CorpusFile",
+    "DEFAULT_KNOWLEDGE",
+    "DatasetConfig",
+    "FineTuneReport",
+    "KnowledgeBase",
+    "ModelConfig",
+    "NgramModel",
+    "SimulatedCodeLLM",
+    "TrainingConfig",
+    "build_corpus",
+    "count_tokens",
+    "detokenize",
+    "filter_files",
+    "fine_tune",
+    "make_model",
+    "resolve_rates",
+    "synthesize",
+    "synthesize_nonsense",
+    "tokenize",
+]

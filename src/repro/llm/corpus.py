@@ -1,0 +1,338 @@
+"""A synthetic "scraped GitHub" corpus for the fine-tuning pipeline.
+
+The paper (Section III-B) scrapes open-source repositories, filters by licence
+and last-update date (after February 2024), keeps files containing a Qiskit
+import, splits notebooks into code/markdown tiles, and lands on a ~3M-token
+corpus that is *still* partly stale.  This module reproduces that data
+distribution synthetically and deterministically:
+
+* files carry a repo, licence, last-update date and kind (``py``/``ipynb``);
+* a tunable fraction of files use the **legacy** API (``execute``, ``Aer``,
+  ``qc.cu1``...) — stale code that survives even the date filter, exactly the
+  failure the paper reports;
+* non-quantum files and non-open licences are present so the filters have
+  real work to do;
+* notebooks are JSON with alternating markdown/code cells.
+
+Nothing here is scraped at run time; the corpus ships with the library.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from datetime import date, timedelta
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+OPEN_LICENSES = ("mit", "apache-2.0", "bsd-3-clause")
+CLOSED_LICENSES = ("proprietary", "no-license")
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One scraped file."""
+
+    path: str
+    repo: str
+    license: str
+    last_updated: date
+    kind: str  # 'py' | 'ipynb'
+    content: str
+
+    @property
+    def is_notebook(self) -> bool:
+        return self.kind == "ipynb"
+
+
+# ---------------------------------------------------------------------------
+# Snippet templates.  {n}, {shots}, {theta} etc. are filled per file.
+# ---------------------------------------------------------------------------
+
+MODERN_SNIPPETS = [
+    '''\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+def bell_counts(shots={shots}):
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    backend = LocalSimulator()
+    job = backend.run(qc, shots=shots)
+    return job.result().get_counts()
+''',
+    '''\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+def ghz(n={n}):
+    qc = QuantumCircuit(n, n)
+    qc.h(0)
+    for q in range(n - 1):
+        qc.cx(q, q + 1)
+    qc.measure(list(range(n)), list(range(n)))
+    return LocalSimulator().run(qc, shots={shots}).result().get_counts()
+''',
+    '''\
+import math
+from repro.quantum import QuantumCircuit
+
+def qft(n={n}):
+    qc = QuantumCircuit(n)
+    for t in range(n - 1, -1, -1):
+        qc.h(t)
+        for c in range(t - 1, -1, -1):
+            qc.cp(math.pi / 2 ** (t - c), c, t)
+    for q in range(n // 2):
+        qc.swap(q, n - 1 - q)
+    return qc
+''',
+    '''\
+from repro.quantum import QuantumCircuit, FakeBrisbane, transpile
+
+def run_on_device(qc):
+    backend = FakeBrisbane()
+    tqc = transpile(qc, backend=backend)
+    job = backend.run(tqc, shots={shots})
+    return job.result().get_counts()
+''',
+    '''\
+from repro.quantum import QuantumCircuit, Statevector
+
+def phase_kickback(theta={theta}):
+    qc = QuantumCircuit(2)
+    qc.h(0)
+    qc.x(1)
+    qc.cp(theta, 0, 1)
+    return Statevector.from_circuit(qc)
+''',
+    '''\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+def grover_two_qubit(marked="11"):
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.h(1)
+    qc.cz(0, 1)
+    qc.h(0)
+    qc.h(1)
+    qc.x(0)
+    qc.x(1)
+    qc.cz(0, 1)
+    qc.x(0)
+    qc.x(1)
+    qc.h(0)
+    qc.h(1)
+    qc.measure([0, 1], [0, 1])
+    return LocalSimulator().run(qc, shots={shots}).result().get_counts()
+''',
+    '''\
+from repro.quantum import QuantumCircuit
+
+def teleport_circuit():
+    qc = QuantumCircuit(3, 3)
+    qc.u({theta}, 0.5, 0.0, 0)
+    qc.h(1)
+    qc.cx(1, 2)
+    qc.cx(0, 1)
+    qc.h(0)
+    qc.measure(0, 0)
+    qc.measure(1, 1)
+    qc.append("x", [2], condition=(1, 1))
+    qc.append("z", [2], condition=(0, 1))
+    qc.measure(2, 2)
+    return qc
+''',
+]
+
+LEGACY_SNIPPETS = [
+    '''\
+from repro.quantum import QuantumCircuit, execute, Aer
+
+def bell_counts(shots={shots}):
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.cnot(0, 1)
+    qc.measure([0, 1], [0, 1])
+    backend = Aer.get_backend("qasm_simulator")
+    result = execute(qc, backend, shots=shots)
+    return result.get_counts()
+''',
+    '''\
+import math
+from repro.quantum import QuantumCircuit
+
+def qft(n={n}):
+    qc = QuantumCircuit(n)
+    for t in range(n - 1, -1, -1):
+        qc.h(t)
+        for c in range(t - 1, -1, -1):
+            qc.cu1(math.pi / 2 ** (t - c), c, t)
+    return qc
+''',
+    '''\
+from repro.quantum import QuantumCircuit, execute, BasicAer
+
+def run(qc, shots={shots}):
+    backend = BasicAer.get_backend("statevector_simulator")
+    return execute(qc, backend, shots=shots).get_statevector()
+''',
+    '''\
+from repro.quantum import QuantumCircuit
+
+def toffoli_demo():
+    qc = QuantumCircuit(3)
+    qc.x(0)
+    qc.x(1)
+    qc.toffoli(0, 1, 2)
+    qc.iden(0)
+    return qc
+''',
+    '''\
+from repro.quantum import QuantumCircuit
+
+def rotate(theta={theta}):
+    qc = QuantumCircuit(1)
+    qc.u3(theta, 0.1, 0.2, 0)
+    qc.u1(0.3, 0)
+    return qc
+''',
+]
+
+NON_QUANTUM_SNIPPETS = [
+    '''\
+import json
+
+def load_config(path):
+    with open(path) as handle:
+        return json.load(handle)
+''',
+    '''\
+def fibonacci(n):
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+''',
+    '''\
+import os
+
+def list_python_files(root):
+    out = []
+    for base, _dirs, files in os.walk(root):
+        out.extend(os.path.join(base, f) for f in files if f.endswith(".py"))
+    return out
+''',
+]
+
+MARKDOWN_CELLS = [
+    "# Building a Bell state\nEntanglement in two gates: Hadamard then CNOT.",
+    "## Quantum Fourier transform\nThe QFT maps computational basis states to "
+    "phase gradients; it is the engine inside Shor's algorithm.",
+    "### Running on hardware\nAlways transpile for the device coupling map "
+    "before submitting a job.",
+    "## Grover search\nAmplitude amplification boosts marked states using an "
+    "oracle and a diffuser.",
+    "### Noise\nReal devices suffer depolarizing noise and readout error; "
+    "expect histograms to spread.",
+]
+
+#: Legacy symbols the n-gram vocabulary share is measured against.
+LEGACY_MARKERS = ("execute", "Aer", "BasicAer", "cu1", "u3", "u1", "toffoli", "iden", "cnot")
+
+#: The date filter boundary from the paper (repos updated after Feb 2024).
+FILTER_DATE = date(2024, 2, 1)
+
+
+def _fill(template: str, rng: np.random.Generator) -> str:
+    return template.format(
+        n=int(rng.integers(3, 7)),
+        shots=int(rng.choice([256, 512, 1024, 2048])),
+        theta=round(float(rng.uniform(0.1, 3.0)), 3),
+    )
+
+
+def _make_notebook(cells: list[tuple[str, str]]) -> str:
+    """Assemble a minimal .ipynb JSON document."""
+    nb_cells = []
+    for kind, source in cells:
+        nb_cells.append(
+            {
+                "cell_type": "markdown" if kind == "markdown" else "code",
+                "metadata": {},
+                "source": source.splitlines(keepends=True),
+                **({"outputs": [], "execution_count": None} if kind == "code" else {}),
+            }
+        )
+    return json.dumps({"cells": nb_cells, "nbformat": 4, "nbformat_minor": 5})
+
+
+def build_corpus(
+    num_files: int = 160,
+    legacy_fraction: float = 0.35,
+    stale_fraction: float = 0.25,
+    non_quantum_fraction: float = 0.15,
+    closed_license_fraction: float = 0.10,
+    notebook_fraction: float = 0.25,
+    seed: int = 2024,
+) -> list[CorpusFile]:
+    """Generate the synthetic scraped corpus.
+
+    ``legacy_fraction`` of quantum files use the removed v0 API even when
+    recent — the paper's key observation that "even filtering by a date this
+    recent still resulted in out-of-date code".
+    """
+    files: list[CorpusFile] = []
+    for idx in range(num_files):
+        rng = derive_rng(seed, "corpus", idx)
+        closed = rng.random() < closed_license_fraction
+        license_name = (
+            str(rng.choice(CLOSED_LICENSES))
+            if closed
+            else str(rng.choice(OPEN_LICENSES))
+        )
+        stale = rng.random() < stale_fraction
+        if stale:
+            updated = FILTER_DATE - timedelta(days=int(rng.integers(30, 700)))
+        else:
+            updated = FILTER_DATE + timedelta(days=int(rng.integers(10, 300)))
+        non_quantum = rng.random() < non_quantum_fraction
+        legacy = rng.random() < legacy_fraction or stale  # stale repos are legacy
+        if non_quantum:
+            body = _fill(str(rng.choice(NON_QUANTUM_SNIPPETS)), rng)
+        elif legacy:
+            body = _fill(str(rng.choice(LEGACY_SNIPPETS)), rng)
+        else:
+            body = _fill(str(rng.choice(MODERN_SNIPPETS)), rng)
+        repo = f"github.com/qdev-{idx % 23:02d}/repo"
+        official = idx % 11 == 0
+        if official:
+            repo = f"github.com/qiskit-community/examples-{idx % 5}"
+        is_notebook = rng.random() < notebook_fraction
+        if is_notebook:
+            md = str(rng.choice(MARKDOWN_CELLS))
+            content = _make_notebook([("markdown", md), ("code", body)])
+            path = f"{repo}/notebooks/example_{idx:03d}.ipynb"
+            kind = "ipynb"
+        else:
+            content = body
+            path = f"{repo}/src/example_{idx:03d}.py"
+            kind = "py"
+        files.append(
+            CorpusFile(
+                path=path,
+                repo=repo,
+                license=license_name,
+                last_updated=updated,
+                kind=kind,
+                content=content,
+            )
+        )
+    return files
+
+
+def is_official(file: CorpusFile) -> bool:
+    """Official community repos get upsampling priority (paper Section III-B)."""
+    return "qiskit-community" in file.repo

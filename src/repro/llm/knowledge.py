@@ -1,0 +1,389 @@
+"""The algorithm knowledge base of the simulated code LLM.
+
+Each :class:`AlgorithmSpec` describes one task family the model can be asked
+about: prompt-matching keywords, the difficulty tier it belongs to in the
+paper's test suite (Section III-B: 47% basic / 24% intermediate / 29%
+advanced), a Chain-of-Thought *outline* (the reasoning steps a CoT prompt
+walks through) and a Structured-CoT *skeleton* (the program-shape pseudocode
+of Li et al. [28]).
+
+Whether the model "knows" a family — and therefore emits the correct
+structure instead of plausible nonsense — is decided at generation time from
+the model configuration (scale, fine-tuning, RAG, CoT) by
+:mod:`repro.llm.faults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LLMError
+
+TIERS = ("basic", "intermediate", "advanced")
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Static knowledge about one task family."""
+
+    family: str
+    tier: str
+    keywords: tuple[str, ...]
+    outline: tuple[str, ...]
+    skeleton: tuple[str, ...]
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise LLMError(f"unknown tier '{self.tier}' for family '{self.family}'")
+
+
+_SPECS: list[AlgorithmSpec] = [
+    # -- basic tier ---------------------------------------------------------
+    AlgorithmSpec(
+        family="superposition",
+        tier="basic",
+        keywords=("superposition", "hadamard", "single qubit", "equal probability"),
+        outline=(
+            "A Hadamard gate maps |0> to an equal superposition of |0> and |1>.",
+            "Create a one-qubit circuit with one classical bit.",
+            "Apply H to qubit 0, measure it, and run the circuit on a simulator.",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(1, 1)",
+            "qc.h(0)",
+            "qc.measure(0, 0)",
+            "counts = backend.run(qc).result().get_counts()",
+        ),
+        description="single-qubit superposition with measurement",
+    ),
+    AlgorithmSpec(
+        family="bell",
+        tier="basic",
+        keywords=("bell", "entangle", "epr", "two qubits", "phi+"),
+        outline=(
+            "A Bell pair needs a Hadamard on one qubit followed by a CNOT.",
+            "Measure both qubits; outcomes are perfectly correlated (00 or 11).",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(2, 2)",
+            "qc.h(0)",
+            "qc.cx(0, 1)",
+            "qc.measure([0, 1], [0, 1])",
+            "counts = backend.run(qc).result().get_counts()",
+        ),
+        description="Bell-pair preparation and measurement",
+    ),
+    AlgorithmSpec(
+        family="ghz",
+        tier="basic",
+        keywords=("ghz", "greenberger", "multi-qubit entangle", "cat state"),
+        outline=(
+            "A GHZ state generalises the Bell pair: H on the first qubit,",
+            "then a chain of CNOTs copying the superposition down the register.",
+            "All-zero and all-one outcomes each appear half the time.",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(n, n)",
+            "qc.h(0)",
+            "for q in range(n - 1): qc.cx(q, q + 1)",
+            "qc.measure(all, all)",
+            "counts = backend.run(qc).result().get_counts()",
+        ),
+        description="n-qubit GHZ state",
+    ),
+    AlgorithmSpec(
+        family="basis_prep",
+        tier="basic",
+        keywords=("basis state", "prepare", "bitstring", "computational basis"),
+        outline=(
+            "To prepare a computational basis state, apply X to every qubit",
+            "whose target bit is 1, then measure all qubits.",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(n, n)",
+            "for q where bit is 1: qc.x(q)",
+            "qc.measure(all, all)",
+            "counts = backend.run(qc).result().get_counts()",
+        ),
+        description="prepare and verify a computational basis state",
+    ),
+    AlgorithmSpec(
+        family="rotation",
+        tier="basic",
+        keywords=("rotation", "rotate", "ry", "angle", "bloch"),
+        outline=(
+            "RY(theta) rotates |0> so that P(1) = sin^2(theta/2).",
+            "Apply the rotation, measure, and read the 1-probability.",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(1, 1)",
+            "qc.ry(theta, 0)",
+            "qc.measure(0, 0)",
+            "counts = backend.run(qc).result().get_counts()",
+        ),
+        description="parameterised single-qubit rotation",
+    ),
+    AlgorithmSpec(
+        family="statevector",
+        tier="basic",
+        keywords=("statevector", "amplitudes", "state vector", "without measuring"),
+        outline=(
+            "Build the circuit without measurements,",
+            "then compute Statevector.from_circuit to inspect amplitudes.",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(n)",
+            "apply gates",
+            "state = Statevector.from_circuit(qc)",
+        ),
+        description="statevector inspection of a small circuit",
+    ),
+    AlgorithmSpec(
+        family="device_run",
+        tier="basic",
+        keywords=("device", "hardware", "brisbane", "real quantum computer", "backend"),
+        outline=(
+            "Device backends enforce a coupling map and a native basis,",
+            "so the circuit must be transpiled for the backend before running.",
+            "Then submit with backend.run and fetch counts from the job result.",
+        ),
+        skeleton=(
+            "backend = FakeBrisbane()",
+            "qc = build circuit",
+            "tqc = transpile(qc, backend=backend)",
+            "counts = backend.run(tqc).result().get_counts()",
+        ),
+        description="run a circuit on a (fake) IBM device",
+    ),
+    AlgorithmSpec(
+        family="qasm_io",
+        tier="basic",
+        keywords=("qasm", "openqasm", "serialize", "export"),
+        outline=(
+            "Serialise the circuit with circuit_to_qasm,",
+            "then parse it back with qasm_to_circuit to verify the round trip.",
+        ),
+        skeleton=(
+            "qc = build circuit",
+            "text = circuit_to_qasm(qc)",
+            "qc2 = qasm_to_circuit(text)",
+        ),
+        description="OpenQASM export / import round trip",
+    ),
+    # -- intermediate tier -----------------------------------------------------
+    AlgorithmSpec(
+        family="qft",
+        tier="intermediate",
+        keywords=("fourier", "qft", "phase gradient"),
+        outline=(
+            "The QFT applies, from the top qubit down, a Hadamard followed by",
+            "controlled phase rotations pi/2^k from each lower qubit,",
+            "and finally swaps to restore bit order.",
+        ),
+        skeleton=(
+            "for t in reversed(range(n)):",
+            "    qc.h(t)",
+            "    for c in reversed(range(t)): qc.cp(pi / 2**(t-c), c, t)",
+            "for q in range(n // 2): qc.swap(q, n-1-q)",
+        ),
+        description="quantum Fourier transform",
+    ),
+    AlgorithmSpec(
+        family="deutsch_jozsa",
+        tier="intermediate",
+        keywords=("deutsch", "jozsa", "constant or balanced", "oracle"),
+        outline=(
+            "Prepare the ancilla in |-> (X then H) and the inputs in |+>.",
+            "Apply the oracle; phase kickback marks balanced functions.",
+            "Undo the input Hadamards and measure: all zeros means constant.",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(n + 1, n)",
+            "qc.x(n); for q in range(n + 1): qc.h(q)",
+            "apply oracle",
+            "for q in range(n): qc.h(q)",
+            "qc.measure(inputs, bits)",
+        ),
+        description="Deutsch-Jozsa algorithm",
+    ),
+    AlgorithmSpec(
+        family="bernstein_vazirani",
+        tier="intermediate",
+        keywords=("bernstein", "vazirani", "secret string", "hidden bitstring"),
+        outline=(
+            "Prepare the ancilla in |-> and inputs in |+>.",
+            "The oracle is a CNOT from every secret-1 input qubit to the ancilla.",
+            "Final Hadamards collapse the state onto the secret string.",
+        ),
+        skeleton=(
+            "qc = QuantumCircuit(n + 1, n)",
+            "qc.x(n); for q in range(n + 1): qc.h(q)",
+            "for q where secret bit is 1: qc.cx(q, n)",
+            "for q in range(n): qc.h(q)",
+            "qc.measure(inputs, bits)",
+        ),
+        description="Bernstein-Vazirani secret recovery",
+    ),
+    AlgorithmSpec(
+        family="grover",
+        tier="intermediate",
+        keywords=("grover", "search", "marked", "amplitude amplification"),
+        outline=(
+            "Start in the uniform superposition with Hadamards everywhere.",
+            "Each Grover iteration applies the phase oracle for the marked",
+            "state, then the diffuser (H, X, multi-controlled Z, X, H).",
+            "About pi/4 * sqrt(N/M) iterations maximise the hit probability.",
+        ),
+        skeleton=(
+            "for q in range(n): qc.h(q)",
+            "repeat iterations times:",
+            "    apply oracle(marked)",
+            "    apply diffuser",
+            "qc.measure(all, all)",
+        ),
+        description="Grover search",
+    ),
+    # -- advanced tier --------------------------------------------------------------
+    AlgorithmSpec(
+        family="teleportation",
+        tier="advanced",
+        keywords=("teleport", "alice", "bob", "bell measurement"),
+        outline=(
+            "Share a Bell pair between qubits 1 and 2.",
+            "Bell-measure the message qubit 0 with qubit 1 into two bits.",
+            "Apply X and Z on qubit 2 conditioned on those bits;",
+            "qubit 2 now holds the original state.",
+        ),
+        skeleton=(
+            "qc.u(theta, phi, lam, 0)  # message",
+            "qc.h(1); qc.cx(1, 2)      # Bell pair",
+            "qc.cx(0, 1); qc.h(0)",
+            "qc.measure(0, 0); qc.measure(1, 1)",
+            "x on 2 if bit 1; z on 2 if bit 0",
+            "qc.measure(2, 2)",
+        ),
+        description="quantum teleportation with conditioned corrections",
+    ),
+    AlgorithmSpec(
+        family="superdense",
+        tier="advanced",
+        keywords=("superdense", "dense coding", "two classical bits"),
+        outline=(
+            "Share a Bell pair; the sender encodes two bits by applying",
+            "X for the high bit and Z for the low bit to their half.",
+            "The receiver undoes the entanglement (CNOT, H) and measures",
+            "both qubits to read the two bits.",
+        ),
+        skeleton=(
+            "qc.h(0); qc.cx(0, 1)",
+            "if high bit: qc.x(0)",
+            "if low bit: qc.z(0)",
+            "qc.cx(0, 1); qc.h(0)",
+            "qc.measure([0, 1], [0, 1])",
+        ),
+        description="superdense coding",
+    ),
+    AlgorithmSpec(
+        family="phase_estimation",
+        tier="advanced",
+        keywords=("phase estimation", "qpe", "eigenvalue", "estimate the phase"),
+        outline=(
+            "Prepare the eigenstate |1> on the target qubit.",
+            "Put counting qubits in |+>; apply controlled-P(2 pi phase 2^k)",
+            "from counting qubit k.",
+            "Apply the inverse QFT on the counting register and measure;",
+            "the result approximates phase * 2^n.",
+        ),
+        skeleton=(
+            "qc.x(target)",
+            "for q in range(n): qc.h(q)",
+            "for q in range(n): qc.cp(2*pi*phase*2**q, q, target)",
+            "apply inverse QFT on counting qubits",
+            "qc.measure(counting, bits)",
+        ),
+        description="quantum phase estimation",
+    ),
+    AlgorithmSpec(
+        family="quantum_walk",
+        tier="advanced",
+        keywords=("quantum walk", "walker", "cycle", "coin"),
+        outline=(
+            "A discrete-time walk on a 4-cycle uses 2 position qubits and a",
+            "coin qubit.  Each step: Hadamard the coin, then increment the",
+            "position when the coin is 1 and decrement it when the coin is 0,",
+            "using controlled adders (CCX + CX).",
+        ),
+        skeleton=(
+            "for each step:",
+            "    qc.h(coin)",
+            "    qc.ccx(coin, p0, p1); qc.cx(coin, p0)   # +1",
+            "    qc.x(coin); qc.cx(coin, p0); qc.ccx(coin, p0, p1); qc.x(coin)  # -1",
+            "qc.measure(position, bits)",
+        ),
+        description="discrete-time quantum walk on a cycle",
+    ),
+    AlgorithmSpec(
+        family="annealing",
+        tier="advanced",
+        keywords=("anneal", "ising", "transverse field", "adiabatic"),
+        outline=(
+            "Start in the driver ground state |+...+> with Hadamards.",
+            "Trotterise H(s) = (1-s) X-driver + s ZZ-problem:",
+            "each slice applies RZZ couplings then RX fields, ramping s from",
+            "0 to 1 across the schedule, then measure.",
+        ),
+        skeleton=(
+            "for q in range(n): qc.h(q)",
+            "for k in range(steps):",
+            "    s = (k + 1) / steps",
+            "    for q in range(n-1): qc.rzz(2*s*J*dt, q, q+1)",
+            "    for q in range(n): qc.rx(2*(1-s)*h*dt, q)",
+            "qc.measure(all, all)",
+        ),
+        description="Trotterised quantum annealing schedule",
+    ),
+]
+
+
+class KnowledgeBase:
+    """Lookup and prompt-matching over the algorithm specs."""
+
+    def __init__(self, specs: list[AlgorithmSpec] | None = None) -> None:
+        self._specs = {spec.family: spec for spec in (specs or _SPECS)}
+
+    def families(self) -> list[str]:
+        return sorted(self._specs)
+
+    def get(self, family: str) -> AlgorithmSpec:
+        spec = self._specs.get(family)
+        if spec is None:
+            raise LLMError(
+                f"unknown task family '{family}'; known: {self.families()}"
+            )
+        return spec
+
+    def by_tier(self, tier: str) -> list[AlgorithmSpec]:
+        return [s for s in self._specs.values() if s.tier == tier]
+
+    def match(self, prompt_text: str) -> tuple[str | None, float]:
+        """Match a prompt to a family by keyword scoring.
+
+        Returns (family, score); family is None when nothing matches.  The
+        score is the fraction of the best family's keywords found in the
+        prompt.
+        """
+        text = prompt_text.lower()
+        best_family, best_score = None, 0.0
+        for spec in self._specs.values():
+            hits = sum(1 for kw in spec.keywords if kw in text)
+            if hits == 0:
+                continue
+            # Weight by hit count, lightly normalised by keyword list length.
+            score = hits + 0.1 * hits / len(spec.keywords)
+            if score > best_score:
+                best_family, best_score = spec.family, score
+        return best_family, best_score
+
+
+DEFAULT_KNOWLEDGE = KnowledgeBase()

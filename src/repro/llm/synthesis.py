@@ -1,0 +1,561 @@
+"""Template-based code synthesis: the generative half of the simulated LLM.
+
+For every knowledge-base family this module can emit *runnable* Python against
+the :mod:`repro.quantum` public API, in three variants:
+
+* ``correct`` — the canonical solution (also used as the grading reference);
+* ``structure`` — a typical LLM structural mistake (missing uncompute layer,
+  wrong oracle wiring, zero Grover iterations...), which runs fine but is
+  semantically wrong — the paper's "syntactically correct but nonsensical
+  code";
+* ``params`` — a subtler parameter slip (wrong angle, reversed bitstring).
+
+Syntactic fault modes (legacy API calls, hallucinated methods, bad indices)
+are *not* generated here; they are text transforms applied afterwards by
+:mod:`repro.llm.faults`, because that is where their rates are modelled.
+
+Generated code defines ``qc`` (the circuit) and, when the task involves
+execution, ``counts``; statevector tasks define ``state``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.errors import GenerationError
+
+VARIANTS = ("correct", "structure", "params")
+
+Emitter = Callable[[dict, str], str]
+_EMITTERS: dict[str, Emitter] = {}
+
+
+def register(family: str):
+    def wrap(fn: Emitter) -> Emitter:
+        _EMITTERS[family] = fn
+        return fn
+
+    return wrap
+
+
+def families() -> list[str]:
+    return sorted(_EMITTERS)
+
+
+def synthesize(family: str, params: dict, variant: str = "correct") -> str:
+    """Emit code for a task family; raises for unknown families/variants."""
+    if variant not in VARIANTS:
+        raise GenerationError(f"unknown synthesis variant '{variant}'")
+    emitter = _EMITTERS.get(family)
+    if emitter is None:
+        raise GenerationError(
+            f"no synthesis template for family '{family}'; known: {families()}"
+        )
+    return emitter(params, variant)
+
+
+def synthesize_nonsense(params: dict) -> str:
+    """Plausible-looking filler for prompts the model does not understand.
+
+    Syntactically valid, runs cleanly, and is essentially never the right
+    answer — mirroring the paper's observation about models lacking
+    algorithmic knowledge.
+    """
+    n = int(params.get("n", 3))
+    n = max(1, min(n, 6))
+    lines = [
+        "from repro.quantum import QuantumCircuit, LocalSimulator",
+        "",
+        f"qc = QuantumCircuit({n}, {n})",
+    ]
+    for q in range(n):
+        lines.append(f"qc.h({q})")
+    lines.append(f"qc.measure(list(range({n})), list(range({n})))")
+    lines.append("backend = LocalSimulator()")
+    lines.append("counts = backend.run(qc, shots=1024).result().get_counts()")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Basic tier
+# ---------------------------------------------------------------------------
+
+
+@register("superposition")
+def _superposition(params: dict, variant: str) -> str:
+    gate = "qc.h(0)" if variant != "structure" else "qc.x(0)"
+    measure = "qc.measure(0, 0)"
+    if variant == "params":
+        # Measuring into the wrong (nonexistent-but-valid-0) pattern: use a
+        # biased ry instead of H.
+        gate = "qc.ry(1.0, 0)"
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit(1, 1)
+{gate}
+{measure}
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""
+
+
+@register("bell")
+def _bell(params: dict, variant: str) -> str:
+    body = ["qc.h(0)", "qc.cx(0, 1)"]
+    if variant == "structure":
+        body = ["qc.h(0)", "qc.h(1)"]  # forgot the entangler
+    elif variant == "params":
+        body = ["qc.h(0)", "qc.cx(0, 1)", "qc.x(0)"]  # stray flip
+    lines = "\n".join(body)
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit(2, 2)
+{lines}
+qc.measure([0, 1], [0, 1])
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""
+
+
+@register("ghz")
+def _ghz(params: dict, variant: str) -> str:
+    n = int(params.get("n", 3))
+    if variant == "structure":
+        chain = f"for q in range({n}):\n    qc.h(q)"  # H-everything misconception
+    elif variant == "params":
+        chain = (
+            f"qc.h(0)\nfor q in range({n - 2}):\n    qc.cx(q, q + 1)"
+        )  # chain stops early
+    else:
+        chain = f"qc.h(0)\nfor q in range({n - 1}):\n    qc.cx(q, q + 1)"
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit({n}, {n})
+{chain}
+qc.measure(list(range({n})), list(range({n})))
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""
+
+
+@register("basis_prep")
+def _basis_prep(params: dict, variant: str) -> str:
+    bits = str(params.get("bits", "110"))
+    n = len(bits)
+    if variant in ("structure", "params"):
+        bits = bits[::-1]  # endianness slip, the classic
+        if bits == str(params.get("bits", "110")):
+            # Palindromes make the reversal a no-op; flip a bit instead.
+            bits = ("0" if bits[0] == "1" else "1") + bits[1:]
+    flips = "\n".join(
+        f"qc.x({q})" for q, bit in enumerate(reversed(bits)) if bit == "1"
+    )
+    flips = flips or "pass"
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit({n}, {n})
+{flips}
+qc.measure(list(range({n})), list(range({n})))
+backend = LocalSimulator()
+counts = backend.run(qc, shots=1024).result().get_counts()
+"""
+
+
+@register("rotation")
+def _rotation(params: dict, variant: str) -> str:
+    theta = float(params.get("theta", 1.2))
+    if variant == "params":
+        theta = theta + 0.8  # half-angle convention confusion
+    gate = f"qc.ry({theta!r}, 0)"
+    if variant == "structure":
+        gate = f"qc.rz({theta!r}, 0)"  # phase rotation is invisible in Z basis
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit(1, 1)
+{gate}
+qc.measure(0, 0)
+backend = LocalSimulator()
+counts = backend.run(qc, shots=4096).result().get_counts()
+"""
+
+
+@register("statevector")
+def _statevector(params: dict, variant: str) -> str:
+    label = str(params.get("label", "01"))
+    n = len(label)
+    flips = "\n".join(
+        f"qc.x({q})" for q, bit in enumerate(reversed(label)) if bit == "1"
+    )
+    flips = flips or "pass"
+    if variant in ("structure", "params"):
+        # Inverted bit test: prepares the complement state (always wrong).
+        flips = "\n".join(
+            f"qc.x({q})" for q, bit in enumerate(reversed(label)) if bit == "0"
+        ) or "pass"
+    return f"""\
+from repro.quantum import QuantumCircuit, Statevector
+
+qc = QuantumCircuit({n})
+{flips}
+state = Statevector.from_circuit(qc)
+probabilities = state.probabilities_dict()
+"""
+
+
+@register("device_run")
+def _device_run(params: dict, variant: str) -> str:
+    n = int(params.get("n", 3))
+    transpile_line = "tqc = transpile(qc, backend=backend)"
+    run_target = "tqc"
+    if variant == "structure":
+        # Forgot to transpile: device backends reject uncoupled/unbased ops.
+        transpile_line = "tqc = qc"
+    body = f"qc.h(0)\nfor q in range({n - 1}):\n    qc.cx(q, q + 1)"
+    if variant == "params":
+        body = f"for q in range({n}):\n    qc.h(q)"  # entanglement lost
+    return f"""\
+from repro.quantum import QuantumCircuit, FakeBrisbane, transpile
+
+backend = FakeBrisbane()
+qc = QuantumCircuit({n}, {n})
+{body}
+qc.measure(list(range({n})), list(range({n})))
+{transpile_line}
+counts = backend.run({run_target}, shots=1024, seed=11).result().get_counts()
+"""
+
+
+@register("qasm_io")
+def _qasm_io(params: dict, variant: str) -> str:
+    build = "qc.h(0)\nqc.cx(0, 1)\nqc.measure([0, 1], [0, 1])"
+    if variant == "structure":
+        # Exports the circuit before building it: round-trips an empty shell.
+        return """\
+from repro.quantum import QuantumCircuit, circuit_to_qasm, qasm_to_circuit
+
+qc = QuantumCircuit(2, 2)
+qasm_text = circuit_to_qasm(qc)
+qc.h(0)
+qc.cx(0, 1)
+qc.measure([0, 1], [0, 1])
+qc2 = qasm_to_circuit(qasm_text)
+"""
+    if variant == "params":
+        build = "qc.h(0)\nqc.cx(1, 0)\nqc.measure([0, 1], [0, 1])"  # flipped CNOT
+    return f"""\
+from repro.quantum import QuantumCircuit, circuit_to_qasm, qasm_to_circuit
+
+qc = QuantumCircuit(2, 2)
+{build}
+qasm_text = circuit_to_qasm(qc)
+qc2 = qasm_to_circuit(qasm_text)
+"""
+
+
+# ---------------------------------------------------------------------------
+# Intermediate tier
+# ---------------------------------------------------------------------------
+
+
+@register("qft")
+def _qft(params: dict, variant: str) -> str:
+    n = int(params.get("n", 3))
+    # The QFT is applied to a nontrivial basis state (|0...01> by default):
+    # on |0...0> every QFT variant produces the same uniform state, which
+    # would make grading blind (and the task trivial).
+    input_qubit = int(params.get("input_qubit", 0))
+    angle = "math.pi / 2 ** (t - c)"
+    if variant == "params":
+        angle = "-math.pi / 2 ** (t - c)"  # rotation sign flipped
+    swaps = (
+        f"for q in range({n} // 2):\n    qc.swap(q, {n} - 1 - q)"
+    )
+    if variant == "structure":
+        swaps = "pass  # (bit-reversal swaps omitted)"
+    return f"""\
+import math
+from repro.quantum import QuantumCircuit, Statevector
+
+qc = QuantumCircuit({n})
+qc.x({input_qubit})  # input basis state
+for t in range({n} - 1, -1, -1):
+    qc.h(t)
+    for c in range(t - 1, -1, -1):
+        qc.cp({angle}, c, t)
+{swaps}
+state = Statevector.from_circuit(qc)
+"""
+
+
+@register("deutsch_jozsa")
+def _deutsch_jozsa(params: dict, variant: str) -> str:
+    n = int(params.get("n", 3))
+    kind = str(params.get("kind", "constant0"))
+    if kind == "constant0":
+        oracle = "pass  # constant-0 oracle: identity"
+    elif kind == "constant1":
+        oracle = f"qc.x({n})"
+    else:
+        oracle = f"for q in range({n}):\n    qc.cx(q, {n})"
+    ancilla_init = f"qc.x({n})"
+    final_h = f"for q in range({n}):\n    qc.h(q)"
+    if variant == "structure":
+        if kind == "balanced":
+            ancilla_init = "pass  # (ancilla never flipped to |->)"
+        else:
+            final_h = "pass  # (final uncompute Hadamards omitted)"
+    if variant == "params":
+        final_h = f"for q in range({n} - 1):\n    qc.h(q)"  # missed one qubit
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit({n} + 1, {n})
+{ancilla_init}
+for q in range({n} + 1):
+    qc.h(q)
+{oracle}
+{final_h}
+qc.measure(list(range({n})), list(range({n})))
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""
+
+
+@register("bernstein_vazirani")
+def _bernstein_vazirani(params: dict, variant: str) -> str:
+    secret = str(params.get("secret", "101"))
+    n = len(secret)
+    if variant == "params":
+        # One oracle wire mis-read: the last secret bit is flipped.
+        flipped = "0" if secret[-1] == "1" else "1"
+        secret = secret[:-1] + flipped
+    oracle_lines = [
+        f"qc.cx({q}, {n})"
+        for q, bit in enumerate(reversed(secret))
+        if bit == "1"
+    ]
+    oracle = "\n".join(oracle_lines) or "pass"
+    if variant == "structure":
+        oracle = "pass  # (oracle omitted entirely)"
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit({n} + 1, {n})
+qc.x({n})
+for q in range({n} + 1):
+    qc.h(q)
+{oracle}
+for q in range({n}):
+    qc.h(q)
+qc.measure(list(range({n})), list(range({n})))
+backend = LocalSimulator()
+counts = backend.run(qc, shots=1024).result().get_counts()
+"""
+
+
+@register("grover")
+def _grover(params: dict, variant: str) -> str:
+    marked = str(params.get("marked", "11"))
+    n = len(marked)
+    if n not in (2, 3):
+        raise GenerationError("grover template supports 2 or 3 qubits")
+    n_states = 2**n
+    iterations = max(1, int(round(math.pi / (4 * math.asin(math.sqrt(1 / n_states))) - 0.5)))
+    if variant == "params":
+        iterations += 2  # overshoots the rotation
+    zeros = [q for q in range(n) if marked[n - 1 - q] == "0"]
+    x_wrap = "\n    ".join(f"qc.x({q})" for q in zeros) or "pass"
+    cz = "qc.cz(0, 1)" if n == 2 else "qc.ccz(0, 1, 2)"
+    diffuser_flip = "\n    ".join(f"qc.x({q})" for q in range(n))
+    oracle_block = f"""\
+    {x_wrap}
+    {cz}
+    {x_wrap}"""
+    if variant == "structure":
+        oracle_block = "    pass  # (oracle omitted: nothing is ever marked)"
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit({n}, {n})
+for q in range({n}):
+    qc.h(q)
+for _ in range({iterations}):
+{oracle_block}
+    for q in range({n}):
+        qc.h(q)
+    {diffuser_flip}
+    {cz}
+    {diffuser_flip}
+    for q in range({n}):
+        qc.h(q)
+qc.measure(list(range({n})), list(range({n})))
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""
+
+
+# ---------------------------------------------------------------------------
+# Advanced tier
+# ---------------------------------------------------------------------------
+
+
+@register("teleportation")
+def _teleportation(params: dict, variant: str) -> str:
+    theta = float(params.get("theta", 1.0))
+    phi = float(params.get("phi", 0.5))
+    corrections = """\
+qc.append("x", [2], condition=(1, 1))
+qc.append("z", [2], condition=(0, 1))"""
+    if variant == "structure":
+        corrections = "# (conditioned corrections omitted)"
+    elif variant == "params":
+        corrections = """\
+qc.append("x", [2], condition=(0, 1))
+qc.append("z", [2], condition=(1, 1))"""  # swapped condition bits
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit(3, 3)
+qc.u({theta!r}, {phi!r}, 0.0, 0)
+qc.h(1)
+qc.cx(1, 2)
+qc.cx(0, 1)
+qc.h(0)
+qc.measure(0, 0)
+qc.measure(1, 1)
+{corrections}
+qc.measure(2, 2)
+backend = LocalSimulator()
+counts = backend.run(qc, shots=4096).result().get_counts()
+"""
+
+
+@register("superdense")
+def _superdense(params: dict, variant: str) -> str:
+    bits = str(params.get("bits", "10"))
+    encode = []
+    if bits[0] == "1":
+        encode.append("qc.x(0)")
+    if bits[1] == "1":
+        encode.append("qc.z(0)")
+    if variant == "params":
+        # Inverted test on the X-encoded bit: always wrong for every message.
+        encode = []
+        if bits[0] == "0":
+            encode.append("qc.x(0)")
+        if bits[1] == "1":
+            encode.append("qc.z(0)")
+    encode_block = "\n".join(encode) or "pass"
+    decode = "qc.cx(0, 1)\nqc.h(0)"
+    if variant == "structure":
+        decode = "# (decoding omitted: receiver measures the raw pair)"
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit(2, 2)
+qc.h(0)
+qc.cx(0, 1)
+{encode_block}
+{decode}
+qc.measure([0, 1], [0, 1])
+backend = LocalSimulator()
+counts = backend.run(qc, shots=1024).result().get_counts()
+"""
+
+
+@register("phase_estimation")
+def _phase_estimation(params: dict, variant: str) -> str:
+    phase = float(params.get("phase", 0.25))
+    n = int(params.get("n", 3))
+    iqft = f"""\
+for q in range({n} // 2):
+    qc.swap(q, {n} - 1 - q)
+for t in range({n}):
+    for c in range(t):
+        qc.cp(-math.pi / 2 ** (t - c), c, t)
+    qc.h(t)"""
+    if variant == "structure":
+        iqft = "# (inverse QFT omitted before measurement)"
+    phase_expr = f"2 * math.pi * {phase!r} * 2 ** q"
+    if variant == "params":
+        phase_expr = f"math.pi * {phase!r} * 2 ** q"  # missing factor of two
+    return f"""\
+import math
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit({n} + 1, {n})
+qc.x({n})
+for q in range({n}):
+    qc.h(q)
+for q in range({n}):
+    qc.cp({phase_expr}, q, {n})
+{iqft}
+qc.measure(list(range({n})), list(range({n})))
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""
+
+
+@register("quantum_walk")
+def _quantum_walk(params: dict, variant: str) -> str:
+    steps = int(params.get("steps", 3))
+    if variant == "params":
+        steps += 1  # off-by-one step count
+    coin = "qc.h(2)"
+    if variant == "structure":
+        coin = "# (coin flip omitted: the walk becomes a classical shift)"
+    decrement = """\
+    qc.x(2)
+    qc.cx(2, 0)
+    qc.ccx(2, 0, 1)
+    qc.x(2)"""
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+qc = QuantumCircuit(3, 2)
+for _ in range({steps}):
+    {coin}
+    qc.ccx(2, 0, 1)
+    qc.cx(2, 0)
+{decrement}
+qc.measure([0, 1], [0, 1])
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""
+
+
+@register("annealing")
+def _annealing(params: dict, variant: str) -> str:
+    n = int(params.get("n", 3))
+    steps = int(params.get("steps", 4))
+    zz_line = "qc.rzz(2 * s * dt, q, q + 1)"
+    if variant == "structure":
+        zz_line = "pass  # (problem Hamiltonian never applied)"
+    rx_angle = "2 * (1 - s) * dt"
+    if variant == "params":
+        rx_angle = "2 * s * dt"  # schedule inverted
+    return f"""\
+from repro.quantum import QuantumCircuit, LocalSimulator
+
+total_time = 2.0
+steps = {steps}
+dt = total_time / steps
+qc = QuantumCircuit({n}, {n})
+for q in range({n}):
+    qc.h(q)
+for k in range(steps):
+    s = (k + 1) / steps
+    for q in range({n} - 1):
+        {zz_line}
+    for q in range({n}):
+        qc.rx({rx_angle}, q)
+qc.measure(list(range({n})), list(range({n})))
+backend = LocalSimulator()
+counts = backend.run(qc, shots=2048).result().get_counts()
+"""

@@ -1,0 +1,31 @@
+"""Prompt templates, CoT/SCoT scaffolds, and the evaluation prompt bank."""
+
+from repro.prompts.bank import PromptCase, suite_cases, tier_mix
+from repro.prompts.generator import (
+    MANUAL_SEED_FAMILIES,
+    GeneratedScaffold,
+    ScaffoldGenerator,
+)
+from repro.prompts.templates import (
+    RenderedPrompt,
+    render_cot,
+    render_multipass,
+    render_plain,
+    render_scot,
+    render_semantic_feedback,
+)
+
+__all__ = [
+    "GeneratedScaffold",
+    "MANUAL_SEED_FAMILIES",
+    "PromptCase",
+    "RenderedPrompt",
+    "ScaffoldGenerator",
+    "render_cot",
+    "render_multipass",
+    "render_plain",
+    "render_scot",
+    "render_semantic_feedback",
+    "suite_cases",
+    "tier_mix",
+]

@@ -1,0 +1,255 @@
+"""The test-suite prompt bank (paper Section III-B).
+
+34 prompt-answer pairs across three tiers with the paper's exact mix:
+16 basic (47%), 8 intermediate (24%), 10 advanced (29%).  Each case carries
+its family and parameters; the *answer* half of the pair is the canonical
+synthesis of the family (see :mod:`repro.evalsuite.suite`).
+
+A separate, larger, syntax-flavoured bank lives in
+:mod:`repro.evalsuite.qhe` for the Qiskit-HumanEval-style comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PromptCase:
+    """One prompt of the evaluation suite."""
+
+    case_id: str
+    tier: str
+    family: str
+    text: str
+    params: dict = field(default_factory=dict, hash=False)
+
+
+_BASIC: list[PromptCase] = [
+    PromptCase(
+        "basic-01", "basic", "superposition",
+        "Generate a quantum program that puts a single qubit into an equal "
+        "superposition using a Hadamard gate, measures it, and reports the "
+        "counts from a simulator.",
+    ),
+    PromptCase(
+        "basic-02", "basic", "superposition",
+        "Write code that demonstrates quantum randomness: apply a hadamard "
+        "to one qubit, measure, and run 2048 shots so both outcomes appear "
+        "with roughly equal probability.",
+    ),
+    PromptCase(
+        "basic-03", "basic", "bell",
+        "Create a Bell state (the Phi+ EPR pair) on two qubits, measure both "
+        "qubits, and run the circuit on a simulator.",
+    ),
+    PromptCase(
+        "basic-04", "basic", "bell",
+        "Write a quantum program that entangles two qubits into a Bell pair "
+        "and shows that the measurement outcomes are perfectly correlated.",
+    ),
+    PromptCase(
+        "basic-05", "basic", "ghz",
+        "Prepare a 3-qubit GHZ cat state, measure every qubit, and collect "
+        "the counts.",
+        {"n": 3},
+    ),
+    PromptCase(
+        "basic-06", "basic", "ghz",
+        "Create a 4-qubit GHZ cat state and measure all of the qubits on a "
+        "simulator.",
+        {"n": 4},
+    ),
+    PromptCase(
+        "basic-07", "basic", "basis_prep",
+        "Prepare the computational basis state |110> on three qubits, "
+        "measure all qubits and verify the counts show only that bitstring.",
+        {"bits": "110"},
+    ),
+    PromptCase(
+        "basic-08", "basic", "basis_prep",
+        "Write code that prepares the basis state |0011> on four qubits and "
+        "measures it.",
+        {"bits": "0011"},
+    ),
+    PromptCase(
+        "basic-09", "basic", "rotation",
+        "Apply an RY rotation of angle 1.2 radians to a qubit starting in "
+        "|0>, measure it many times, and estimate the probability of "
+        "reading 1 on the Bloch sphere.",
+        {"theta": 1.2},
+    ),
+    PromptCase(
+        "basic-10", "basic", "rotation",
+        "Rotate a single qubit by angle 0.7 about the Y axis and measure; "
+        "the 1-probability should be sin^2(0.35).",
+        {"theta": 0.7},
+    ),
+    PromptCase(
+        "basic-11", "basic", "statevector",
+        "Build a two-qubit circuit that prepares |01> and inspect its "
+        "statevector amplitudes without measuring.",
+        {"label": "01"},
+    ),
+    PromptCase(
+        "basic-12", "basic", "statevector",
+        "Build the three-qubit state |100> and print the state vector "
+        "amplitudes without measuring.",
+        {"label": "100"},
+    ),
+    PromptCase(
+        "basic-13", "basic", "device_run",
+        "Run a 3-qubit entangling circuit on the IBM Brisbane backend: "
+        "transpile it for the device and fetch the measurement counts.",
+        {"n": 3},
+    ),
+    PromptCase(
+        "basic-14", "basic", "device_run",
+        "Write code that submits a 2-qubit circuit to a real quantum device "
+        "backend (fake Brisbane), handling the hardware coupling map "
+        "correctly.",
+        {"n": 2},
+    ),
+    PromptCase(
+        "basic-15", "basic", "qasm_io",
+        "Serialise a Bell circuit to OpenQASM text and parse it back, "
+        "verifying the round trip preserves the circuit.",
+    ),
+    PromptCase(
+        "basic-16", "basic", "qasm_io",
+        "Export a measured two-qubit entangling circuit to QASM and re-import "
+        "it.",
+    ),
+]
+
+_INTERMEDIATE: list[PromptCase] = [
+    PromptCase(
+        "inter-01", "intermediate", "qft",
+        "Implement the 3-qubit quantum Fourier transform including the "
+        "final bit-order swaps, and return the circuit's statevector.",
+        {"n": 3},
+    ),
+    PromptCase(
+        "inter-02", "intermediate", "qft",
+        "Write the quantum Fourier transform on 4 qubits with controlled "
+        "phase gradient rotations.",
+        {"n": 4},
+    ),
+    PromptCase(
+        "inter-03", "intermediate", "deutsch_jozsa",
+        "Implement the Deutsch-Jozsa algorithm for a constant-0 oracle on 3 "
+        "input qubits; the measurement should return all zeros.",
+        {"n": 3, "kind": "constant0"},
+    ),
+    PromptCase(
+        "inter-04", "intermediate", "deutsch_jozsa",
+        "Use the Deutsch-Jozsa algorithm with a balanced oracle on 3 input "
+        "qubits to show the result is never the all-zero string.",
+        {"n": 3, "kind": "balanced"},
+    ),
+    PromptCase(
+        "inter-05", "intermediate", "bernstein_vazirani",
+        "Recover the secret string 101 in a single query using the "
+        "Bernstein-Vazirani algorithm.",
+        {"secret": "101"},
+    ),
+    PromptCase(
+        "inter-06", "intermediate", "bernstein_vazirani",
+        "Implement Bernstein-Vazirani for the hidden bitstring 1101 and "
+        "confirm the measurement reveals it.",
+        {"secret": "1101"},
+    ),
+    PromptCase(
+        "inter-07", "intermediate", "grover",
+        "Use Grover's search to find the marked state 11 among two qubits "
+        "with amplitude amplification.",
+        {"marked": "11"},
+    ),
+    PromptCase(
+        "inter-08", "intermediate", "grover",
+        "Implement Grover search over 3 qubits for the marked state 101, "
+        "using the optimal number of iterations.",
+        {"marked": "101"},
+    ),
+]
+
+_ADVANCED: list[PromptCase] = [
+    PromptCase(
+        "adv-01", "advanced", "teleportation",
+        "Implement quantum teleportation: Alice teleports the state "
+        "U(1.0, 0.5, 0)|0> to Bob using a shared Bell pair, a Bell "
+        "measurement, and classically conditioned corrections.",
+        {"theta": 1.0, "phi": 0.5},
+    ),
+    PromptCase(
+        "adv-02", "advanced", "teleportation",
+        "Teleport the state created by rotating |0> with theta=2.0 from "
+        "qubit 0 to qubit 2; include the conditioned X and Z corrections "
+        "after the Bell measurement.",
+        {"theta": 2.0, "phi": 0.0},
+    ),
+    PromptCase(
+        "adv-03", "advanced", "superdense",
+        "Use superdense coding to transmit the two classical bits 10 over "
+        "one Bell pair and decode them.",
+        {"bits": "10"},
+    ),
+    PromptCase(
+        "adv-04", "advanced", "superdense",
+        "Demonstrate superdense coding of the message 01: encode on one "
+        "half of an entangled pair and decode with a CNOT and Hadamard.",
+        {"bits": "01"},
+    ),
+    PromptCase(
+        "adv-05", "advanced", "phase_estimation",
+        "Run quantum phase estimation with 3 counting qubits to estimate "
+        "the phase 0.25 of a P-gate eigenvalue.",
+        {"phase": 0.25, "n": 3},
+    ),
+    PromptCase(
+        "adv-06", "advanced", "phase_estimation",
+        "Estimate the eigenphase 0.375 using phase estimation (QPE) with 3 "
+        "counting qubits and an inverse QFT before measurement.",
+        {"phase": 0.375, "n": 3},
+    ),
+    PromptCase(
+        "adv-07", "advanced", "quantum_walk",
+        "Simulate 3 steps of a discrete-time quantum walk on a 4-cycle "
+        "with a Hadamard coin, then measure the walker position.",
+        {"steps": 3},
+    ),
+    PromptCase(
+        "adv-08", "advanced", "quantum_walk",
+        "Implement a coined quantum walk of 2 steps on a cycle of four "
+        "positions and report the position distribution.",
+        {"steps": 2},
+    ),
+    PromptCase(
+        "adv-09", "advanced", "annealing",
+        "Write a Trotterised quantum annealing schedule for a 3-qubit "
+        "transverse-field Ising chain, ramping from the driver to the "
+        "problem Hamiltonian, and measure the final state.",
+        {"n": 3, "steps": 4},
+    ),
+    PromptCase(
+        "adv-10", "advanced", "annealing",
+        "Simulate adiabatic evolution of a 4-qubit Ising chain via a "
+        "4-slice Trotter annealing schedule and sample the result.",
+        {"n": 4, "steps": 4},
+    ),
+]
+
+
+def suite_cases() -> list[PromptCase]:
+    """All 34 prompt cases in tier order."""
+    return list(_BASIC) + list(_INTERMEDIATE) + list(_ADVANCED)
+
+
+def tier_mix() -> dict[str, float]:
+    """The basic/intermediate/advanced fractions (paper: 47/24/29)."""
+    cases = suite_cases()
+    total = len(cases)
+    return {
+        tier: sum(1 for c in cases if c.tier == tier) / total
+        for tier in ("basic", "intermediate", "advanced")
+    }

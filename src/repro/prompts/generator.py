@@ -1,0 +1,93 @@
+"""CoT / SCoT prompt generation for the full suite from seed exemplars.
+
+The paper (Section IV-C) hand-wrote CoT/SCoT scaffolds for the first five
+test prompts and used GPT-4o to generate scaffolds "of the same CoT format"
+for the rest — and later observed (Section V-E) that "some of the errors
+occur due to incorrect CoT prompt generation".
+
+Here the generator expands the five manual seeds to every prompt using the
+knowledge base's outlines/skeletons as the generation oracle, and injects the
+same imperfection: a seeded fraction of generated scaffolds are *corrupted*
+(steps shuffled or dropped), which downstream forces structurally wrong code
+exactly as a wrong GPT-4o scaffold did in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.knowledge import DEFAULT_KNOWLEDGE, KnowledgeBase
+from repro.prompts.templates import RenderedPrompt, render_cot, render_scot
+from repro.utils.rng import derive_rng
+
+#: The five hand-written seed families (the first five prompts of the suite).
+MANUAL_SEED_FAMILIES = (
+    "superposition",
+    "bell",
+    "ghz",
+    "basis_prep",
+    "rotation",
+)
+
+
+@dataclass(frozen=True)
+class GeneratedScaffold:
+    """A reasoning scaffold plus its provenance."""
+
+    family: str
+    style: str  # 'cot' | 'scot'
+    steps: tuple[str, ...]
+    manual: bool
+    corrupted: bool
+
+
+class ScaffoldGenerator:
+    """Expands manual seeds into scaffolds for every task family."""
+
+    def __init__(
+        self,
+        knowledge: KnowledgeBase | None = None,
+        corruption_rate: float = 0.08,
+        seed: int = 2024,
+    ) -> None:
+        self.knowledge = knowledge or DEFAULT_KNOWLEDGE
+        self.corruption_rate = corruption_rate
+        self.seed = seed
+
+    def scaffold(self, family: str, style: str) -> GeneratedScaffold:
+        """Scaffold for one family: manual for seeds, generated otherwise."""
+        spec = self.knowledge.get(family)
+        steps = spec.outline if style == "cot" else spec.skeleton
+        manual = family in MANUAL_SEED_FAMILIES
+        corrupted = False
+        if not manual:
+            rng = derive_rng(self.seed, "scaffold", family, style)
+            if rng.random() < self.corruption_rate:
+                steps = _corrupt_steps(steps, rng)
+                corrupted = True
+        return GeneratedScaffold(
+            family=family,
+            style=style,
+            steps=tuple(steps),
+            manual=manual,
+            corrupted=corrupted,
+        )
+
+    def render(self, prompt_text: str, family: str, style: str) -> RenderedPrompt:
+        scaffold = self.scaffold(family, style)
+        if style == "cot":
+            return render_cot(prompt_text, list(scaffold.steps))
+        return render_scot(prompt_text, list(scaffold.steps))
+
+
+def _corrupt_steps(steps: tuple[str, ...], rng: np.random.Generator) -> tuple[str, ...]:
+    """Damage a scaffold the way a wrong LLM generation would: drop or swap."""
+    steps = list(steps)
+    if len(steps) >= 2 and rng.random() < 0.5:
+        i, j = rng.choice(len(steps), size=2, replace=False)
+        steps[i], steps[j] = steps[j], steps[i]
+    elif len(steps) >= 2:
+        del steps[int(rng.integers(len(steps)))]
+    return tuple(steps)

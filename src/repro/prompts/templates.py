@@ -1,0 +1,116 @@
+"""Prompt templates: zero-shot, CoT, SCoT and the multi-pass repair template.
+
+These render the exact textual structures the paper's pipeline feeds the
+model.  The simulated LLM conditions on the *style* (plain/cot/scot) rather
+than parsing the rendered text, but rendering is still load-bearing: the
+multi-pass template carries the error trace the repair step parses, and the
+eval reports show rendered prompts for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+PLAIN_TEMPLATE = """\
+### Task
+{prompt}
+
+### Python code
+"""
+
+COT_TEMPLATE = """\
+### Task
+{prompt}
+
+### Let's think step by step
+{reasoning}
+
+### Python code
+"""
+
+SCOT_TEMPLATE = """\
+### Task
+{prompt}
+
+### Program structure (sequence / branch / loop)
+{skeleton}
+
+### Python code
+"""
+
+MULTIPASS_TEMPLATE = """\
+### Original task
+{prompt}
+
+### Previously generated code
+```python
+{code}
+```
+
+### Error produced when running the code
+```
+{trace}
+```
+
+### Fix the error above. Produce the corrected, complete program.
+
+### Python code
+"""
+
+SEMANTIC_FEEDBACK_TEMPLATE = """\
+### Original task
+{prompt}
+
+### Previously generated code
+```python
+{code}
+```
+
+### Problem
+The code runs, but its measured output distribution does not match the
+expected behaviour: {feedback}
+
+### Revise the algorithm. Produce the corrected, complete program.
+
+### Python code
+"""
+
+
+@dataclass(frozen=True)
+class RenderedPrompt:
+    """A fully rendered prompt plus the style tag the model conditions on."""
+
+    text: str
+    style: str  # 'plain' | 'cot' | 'scot' | 'multipass' | 'semantic'
+
+
+def render_plain(prompt: str) -> RenderedPrompt:
+    return RenderedPrompt(PLAIN_TEMPLATE.format(prompt=prompt), "plain")
+
+
+def render_cot(prompt: str, reasoning_steps: list[str]) -> RenderedPrompt:
+    reasoning = "\n".join(f"{i+1}. {step}" for i, step in enumerate(reasoning_steps))
+    return RenderedPrompt(
+        COT_TEMPLATE.format(prompt=prompt, reasoning=reasoning), "cot"
+    )
+
+
+def render_scot(prompt: str, skeleton_lines: list[str]) -> RenderedPrompt:
+    skeleton = "\n".join(skeleton_lines)
+    return RenderedPrompt(
+        SCOT_TEMPLATE.format(prompt=prompt, skeleton=skeleton), "scot"
+    )
+
+
+def render_multipass(prompt: str, code: str, trace: str) -> RenderedPrompt:
+    return RenderedPrompt(
+        MULTIPASS_TEMPLATE.format(prompt=prompt, code=code, trace=trace),
+        "multipass",
+    )
+
+
+def render_semantic_feedback(prompt: str, code: str, feedback: str) -> RenderedPrompt:
+    return RenderedPrompt(
+        SEMANTIC_FEEDBACK_TEMPLATE.format(prompt=prompt, code=code, feedback=feedback),
+        "semantic",
+    )

@@ -1,0 +1,8 @@
+"""Stabilizer code constructions."""
+
+from repro.qec.codes.base import BOUNDARY, CSSCode
+from repro.qec.codes.repetition import RepetitionCode
+from repro.qec.codes.steane import SteaneCode
+from repro.qec.codes.surface import SurfaceCode
+
+__all__ = ["BOUNDARY", "CSSCode", "RepetitionCode", "SteaneCode", "SurfaceCode"]

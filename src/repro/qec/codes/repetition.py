@@ -1,0 +1,48 @@
+"""The distance-d repetition (bit-flip) code.
+
+Protects one logical qubit against X errors only: stabilizers are Z_i Z_{i+1}
+on a line of d qubits.  Used by the paper-adjacent ablations as the simplest
+code exercising the full decoder stack, and as the ground truth for decoder
+unit tests (its minimum-weight decoding is majority vote).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodeConstructionError
+from repro.qec.codes.base import CSSCode
+
+
+class RepetitionCode(CSSCode):
+    """[[d, 1, d]] against X errors (no Z protection)."""
+
+    def __init__(self, distance: int) -> None:
+        if distance < 3 or distance % 2 == 0:
+            raise CodeConstructionError(
+                f"repetition code distance must be odd and >= 3, got {distance}"
+            )
+        n = distance
+        hz = np.zeros((n - 1, n), dtype=bool)
+        for i in range(n - 1):
+            hz[i, i] = True
+            hz[i, i + 1] = True
+        hx = np.zeros((0, n), dtype=bool)
+        # Logical X is X on every qubit (commutes with each ZZ check); any
+        # single Z is a logical-Z representative (all are equivalent modulo
+        # stabilizers).
+        logical_x = np.ones(n, dtype=bool)
+        logical_z = np.zeros(n, dtype=bool)
+        logical_z[0] = True
+        data_coords = np.array([[i, 0.0] for i in range(n)])
+        z_check_coords = np.array([[i + 0.5, 0.0] for i in range(n - 1)])
+        super().__init__(
+            name=f"repetition-{distance}",
+            hx=hx,
+            hz=hz,
+            logical_x=logical_x,
+            logical_z=logical_z,
+            distance=distance,
+            data_coords=data_coords,
+            z_check_coords=z_check_coords,
+        )

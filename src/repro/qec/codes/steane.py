@@ -1,0 +1,44 @@
+"""The Steane [[7,1,3]] code (paper reference [17]).
+
+Both stabilizer types share the parity-check matrix of the classical [7,4,3]
+Hamming code, whose syndrome directly reads out the (1-based) index of a
+single flipped qubit — which is why the lookup decoder is exact for it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qec.codes.base import CSSCode
+
+#: Hamming(7,4) parity checks; column q covers qubit q (0-based), and check
+#: row i fires for qubits whose (q+1) has bit i set.
+_HAMMING = np.array(
+    [
+        [1, 0, 1, 0, 1, 0, 1],
+        [0, 1, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=bool,
+)
+
+
+class SteaneCode(CSSCode):
+    """[[7, 1, 3]] self-dual CSS code."""
+
+    def __init__(self) -> None:
+        logical = np.ones(7, dtype=bool)  # X^7 and Z^7 are the logicals
+        super().__init__(
+            name="steane",
+            hx=_HAMMING.copy(),
+            hz=_HAMMING.copy(),
+            logical_x=logical.copy(),
+            logical_z=logical.copy(),
+            distance=3,
+        )
+
+    @staticmethod
+    def syndrome_to_qubit(syndrome: np.ndarray) -> int | None:
+        """Decode a 3-bit Hamming syndrome to the flipped qubit (or None)."""
+        value = int(sum((1 << i) * int(b) for i, b in enumerate(syndrome)))
+        return value - 1 if value > 0 else None

@@ -1,0 +1,72 @@
+"""Exact lookup-table decoder for small codes.
+
+Enumerates all error patterns up to weight ``(d-1)//2`` (or a caller-supplied
+cap), maps each syndrome to its minimum-weight correction, and decodes in O(1)
+per shot.  Exact for single-round (perfect-measurement) decoding of small
+codes — the regime where Figure 2's single-shot trace and the Steane-code
+examples live.  Raises when a syndrome is outside the table (beyond the
+correction radius) unless ``strict=False``, in which case it returns the
+all-zero correction as a best-effort fallback.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import DecodingError
+from repro.qec.codes.base import CSSCode
+
+
+class LookupDecoder:
+    """Syndrome -> minimum-weight error table for one error type."""
+
+    def __init__(
+        self,
+        code: CSSCode,
+        error_type: str = "x",
+        max_weight: int | None = None,
+        strict: bool = True,
+    ) -> None:
+        self.code = code
+        self.error_type = error_type
+        self.strict = strict
+        self.max_weight = (
+            max_weight if max_weight is not None else (code.distance - 1) // 2
+        )
+        checks = code.hz if error_type == "x" else code.hx
+        if checks.shape[0] == 0:
+            raise DecodingError(
+                f"{code.name} has no checks for error type '{error_type}'"
+            )
+        self._table: dict[tuple[int, ...], np.ndarray] = {}
+        n = code.num_data_qubits
+        zero = np.zeros(n, dtype=bool)
+        self._table[tuple(np.zeros(checks.shape[0], dtype=int))] = zero
+        for weight in range(1, self.max_weight + 1):
+            for support in itertools.combinations(range(n), weight):
+                error = np.zeros(n, dtype=bool)
+                error[list(support)] = True
+                syndrome = tuple(
+                    ((checks.astype(int) @ error.astype(int)) % 2).tolist()
+                )
+                # Lower weights were inserted first; keep the first (minimal).
+                self._table.setdefault(syndrome, error)
+
+    @property
+    def table_size(self) -> int:
+        return len(self._table)
+
+    def decode(self, syndrome: np.ndarray) -> np.ndarray:
+        """Return the minimum-weight correction for a measured syndrome."""
+        key = tuple(int(b) for b in np.asarray(syndrome).astype(int))
+        correction = self._table.get(key)
+        if correction is None:
+            if self.strict:
+                raise DecodingError(
+                    f"{self.code.name}: syndrome {key} exceeds the weight-"
+                    f"{self.max_weight} lookup radius"
+                )
+            return np.zeros(self.code.num_data_qubits, dtype=bool)
+        return correction.copy()

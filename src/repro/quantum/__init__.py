@@ -1,0 +1,68 @@
+"""``repro.quantum`` — the gate-level quantum SDK.
+
+This package is the reproduction's substitute for Qiskit (see DESIGN.md):
+circuits, a statevector simulator, noise models, device topologies, fake
+backends, a transpiler, and the algorithm library that the evaluation suite
+grades against.
+
+Quickstart::
+
+    from repro.quantum import QuantumCircuit, LocalSimulator
+
+    qc = QuantumCircuit(2, 2)
+    qc.h(0)
+    qc.cx(0, 1)
+    qc.measure([0, 1], [0, 1])
+    counts = LocalSimulator().run(qc, shots=1000, seed=7).result().get_counts()
+"""
+
+from repro.quantum.backend import (
+    Backend,
+    FakeBrisbane,
+    FakeFalcon,
+    Job,
+    LocalSimulator,
+    NoisySimulator,
+    Result,
+)
+from repro.quantum.circuit import (
+    ClassicalRegister,
+    Instruction,
+    QuantumCircuit,
+    QuantumRegister,
+)
+from repro.quantum.noise import NoiseModel, PauliNoise, ReadoutError
+from repro.quantum.qasm import circuit_to_qasm, qasm_to_circuit
+from repro.quantum.statevector import Statevector
+from repro.quantum.topology import CouplingMap
+from repro.quantum.transpiler import transpile
+
+# Legacy symbols are importable (so stale generated code imports cleanly) but
+# raise QuantumDeprecationError when used; see repro.quantum.legacy.
+from repro.quantum.legacy import Aer, BasicAer, IBMQ, execute
+
+__all__ = [
+    "Aer",
+    "Backend",
+    "BasicAer",
+    "ClassicalRegister",
+    "CouplingMap",
+    "FakeBrisbane",
+    "FakeFalcon",
+    "IBMQ",
+    "Instruction",
+    "Job",
+    "LocalSimulator",
+    "NoiseModel",
+    "NoisySimulator",
+    "PauliNoise",
+    "QuantumCircuit",
+    "QuantumRegister",
+    "ReadoutError",
+    "Result",
+    "Statevector",
+    "circuit_to_qasm",
+    "execute",
+    "qasm_to_circuit",
+    "transpile",
+]

@@ -1,0 +1,71 @@
+"""The removed v0-era API surface.
+
+The paper finds that the dominant syntactic failure mode of LLM-generated
+quantum code is "the misuse of imports or the use of deprecated code"
+(Section V-D): models trained on stale corpora emit calls like
+``execute(qc, backend)`` or ``Aer.get_backend('qasm_simulator')`` that current
+library versions removed.  This module makes those failure modes *real* in the
+reproduction: every legacy symbol is importable (so generation succeeds) but
+raises :class:`~repro.errors.QuantumDeprecationError` with a migration hint at
+call time (so the semantic analyzer catches a structured error and the
+multi-pass repair loop — or RAG over current docs — can fix it).
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuantumDeprecationError
+
+#: symbol -> migration hint; the single source of truth for the legacy surface.
+LEGACY_SYMBOLS: dict[str, str] = {
+    "execute": "use backend.run(circuit, shots=...) and job.result()",
+    "Aer": "use repro.quantum.LocalSimulator() directly",
+    "BasicAer": "use repro.quantum.LocalSimulator() directly",
+    "IBMQ": "use repro.quantum.FakeBrisbane() or another Backend",
+    "QuantumProgram": "build a QuantumCircuit and run it on a Backend",
+    "available_backends": "instantiate the Backend you need directly",
+    "get_statevector": "use Statevector.from_circuit(circuit)",
+    "compile_circuit": "use repro.quantum.transpile(circuit, backend=...)",
+}
+
+
+def execute(*args, **kwargs):
+    """Removed. Was: run a circuit on a backend in one call."""
+    raise QuantumDeprecationError("execute", LEGACY_SYMBOLS["execute"])
+
+
+def available_backends(*args, **kwargs):
+    """Removed. Was: list installed providers."""
+    raise QuantumDeprecationError(
+        "available_backends", LEGACY_SYMBOLS["available_backends"]
+    )
+
+
+def get_statevector(*args, **kwargs):
+    """Removed. Was: fetch a snapshot statevector from a result."""
+    raise QuantumDeprecationError("get_statevector", LEGACY_SYMBOLS["get_statevector"])
+
+
+def compile_circuit(*args, **kwargs):
+    """Removed. Was: the pre-transpiler compilation entry point."""
+    raise QuantumDeprecationError("compile_circuit", LEGACY_SYMBOLS["compile_circuit"])
+
+
+class _RemovedProvider:
+    """Stand-in for removed provider singletons (Aer, BasicAer, IBMQ)."""
+
+    def __init__(self, symbol: str) -> None:
+        self._symbol = symbol
+
+    def __getattr__(self, attr: str):
+        raise QuantumDeprecationError(
+            f"{self._symbol}.{attr}", LEGACY_SYMBOLS[self._symbol]
+        )
+
+    def __call__(self, *args, **kwargs):
+        raise QuantumDeprecationError(self._symbol, LEGACY_SYMBOLS[self._symbol])
+
+
+Aer = _RemovedProvider("Aer")
+BasicAer = _RemovedProvider("BasicAer")
+IBMQ = _RemovedProvider("IBMQ")
+QuantumProgram = _RemovedProvider("QuantumProgram")

@@ -1,0 +1,174 @@
+"""OpenQASM 2 subset: export and import of circuits.
+
+Supports the gate set of :mod:`repro.quantum.gates`, ``measure``, ``reset``,
+``barrier`` and single-bit ``if`` conditions.  The exporter emits one flat
+``q``/``c`` register pair; the importer accepts multiple registers and
+flattens them in declaration order.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import QasmError
+from repro.quantum import gates as _gates
+from repro.quantum.circuit import QuantumCircuit
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";'
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to OpenQASM 2 text."""
+    lines = [_HEADER, f"qreg q[{circuit.num_qubits}];"]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for inst in circuit:
+        if inst.name == "barrier":
+            qubits = ",".join(f"q[{q}]" for q in inst.qubits)
+            lines.append(f"barrier {qubits};")
+            continue
+        prefix = ""
+        if inst.condition is not None:
+            bit, value = inst.condition
+            # OpenQASM 2 conditions compare whole registers; a single-bit
+            # condition on bit i is expressed against a 1-bit alias creg in
+            # full QASM, but we keep the common single-creg idiom.
+            prefix = f"if(c=={value << bit}) "
+        if inst.name == "measure":
+            lines.append(
+                f"{prefix}measure q[{inst.qubits[0]}] -> c[{inst.clbits[0]}];"
+            )
+            continue
+        if inst.name == "reset":
+            lines.append(f"{prefix}reset q[{inst.qubits[0]}];")
+            continue
+        params = (
+            "(" + ",".join(_format_angle(p) for p in inst.params) + ")"
+            if inst.params
+            else ""
+        )
+        qubits = ",".join(f"q[{q}]" for q in inst.qubits)
+        lines.append(f"{prefix}{inst.name}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    """Render angles as simple multiples of pi when exact, else decimal."""
+    for denom in (1, 2, 3, 4, 6, 8, 16):
+        for num in range(-16, 17):
+            if num and abs(value - num * math.pi / denom) < 1e-12:
+                frac = f"pi/{denom}" if denom != 1 else "pi"
+                if num == 1:
+                    return frac
+                if num == -1:
+                    return f"-{frac}"
+                return f"{num}*{frac}"
+    return repr(float(value))
+
+
+_TOKEN_RE = re.compile(
+    r"""^\s*(?:(?P<cond>if\s*\(\s*(?P<creg>\w+)\s*==\s*(?P<cval>\d+)\s*\)\s*)?)
+        (?P<name>[A-Za-z_]\w*)
+        (?:\((?P<params>[^)]*)\))?
+        \s*(?P<args>[^;]*);\s*$""",
+    re.VERBOSE,
+)
+
+_SAFE_EXPR_RE = re.compile(r"^[\d\s+\-*/().eE]*$")
+
+
+def _eval_angle(expr: str) -> float:
+    expr = expr.strip().replace("pi", repr(math.pi))
+    if not _SAFE_EXPR_RE.match(expr):
+        raise QasmError(f"unsafe parameter expression '{expr}'")
+    try:
+        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:
+        raise QasmError(f"cannot evaluate parameter '{expr}'") from exc
+
+
+def qasm_to_circuit(text: str) -> QuantumCircuit:
+    """Parse OpenQASM 2 text into a circuit.
+
+    Raises:
+        QasmError: on malformed input or unknown gates.
+    """
+    qregs: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+    cregs: dict[str, tuple[int, int]] = {}
+    qc: QuantumCircuit | None = None
+    pending: list[str] = []
+    q_total = c_total = 0
+
+    def resolve(arg: str, regs: dict[str, tuple[int, int]]) -> int:
+        m = re.match(r"^(\w+)\[(\d+)\]$", arg.strip())
+        if not m:
+            raise QasmError(f"cannot parse operand '{arg}'")
+        name, idx = m.group(1), int(m.group(2))
+        if name not in regs:
+            raise QasmError(f"unknown register '{name}'")
+        offset, size = regs[name]
+        if idx >= size:
+            raise QasmError(f"index {idx} out of range for register '{name}'")
+        return offset + idx
+
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith("OPENQASM") or line.startswith("include"):
+            continue
+        for stmt in [s + ";" for s in line.split(";") if s.strip()]:
+            m_qreg = re.match(r"^qreg\s+(\w+)\[(\d+)\];$", stmt)
+            if m_qreg:
+                qregs[m_qreg.group(1)] = (q_total, int(m_qreg.group(2)))
+                q_total += int(m_qreg.group(2))
+                continue
+            m_creg = re.match(r"^creg\s+(\w+)\[(\d+)\];$", stmt)
+            if m_creg:
+                cregs[m_creg.group(1)] = (c_total, int(m_creg.group(2)))
+                c_total += int(m_creg.group(2))
+                continue
+            pending.append(stmt)
+
+    if q_total == 0:
+        raise QasmError("no qreg declared")
+    qc = QuantumCircuit(q_total, c_total, name="from_qasm")
+
+    for stmt in pending:
+        match = _TOKEN_RE.match(stmt)
+        if not match:
+            raise QasmError(f"cannot parse statement '{stmt}'")
+        name = match.group("name").lower()
+        condition = None
+        if match.group("cond"):
+            cval = int(match.group("cval"))
+            if cval == 0 or (cval & (cval - 1)) != 0:
+                raise QasmError(
+                    f"only single-bit conditions supported, got value {cval}"
+                )
+            condition = (cval.bit_length() - 1, 1)
+        params = tuple(
+            _eval_angle(p) for p in (match.group("params") or "").split(",") if p.strip()
+        )
+        args = [a for a in match.group("args").split(",") if a.strip()]
+        if name == "measure":
+            joined = ",".join(args)
+            m_meas = re.match(r"^(.+?)\s*->\s*(.+)$", joined)
+            if not m_meas:
+                raise QasmError(f"cannot parse measure '{stmt}'")
+            q = resolve(m_meas.group(1), qregs)
+            c = resolve(m_meas.group(2), cregs)
+            qc.append("measure", [q], [c], condition=condition)
+            continue
+        if name == "reset":
+            qc.append("reset", [resolve(args[0], qregs)], condition=condition)
+            continue
+        if name == "barrier":
+            qc.barrier(*[resolve(a, qregs) for a in args])
+            continue
+        if name not in _gates.GATE_SPECS:
+            raise QasmError(f"unknown gate '{name}'")
+        qubits = [resolve(a, qregs) for a in args]
+        qc.append(name, qubits, params=params, condition=condition)
+    return qc

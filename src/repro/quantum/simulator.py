@@ -1,0 +1,202 @@
+"""Circuit execution engines: ideal sampling and Monte-Carlo noisy trajectories.
+
+Two paths:
+
+* **fast path** — no gate noise, no reset, no conditionals, measurements only
+  at circuit positions that are never followed by gates on the same qubit:
+  evolve the statevector once and multinomially sample the joint distribution.
+* **trajectory path** — everything else: one statevector trajectory per shot,
+  sampling Pauli noise after each gate and readout flips at each measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.quantum import gates as _gates
+from repro.quantum.circuit import Instruction, QuantumCircuit
+from repro.quantum.noise import NoiseModel
+from repro.quantum.statevector import (
+    Statevector,
+    apply_matrix,
+    collapse,
+    measure_probabilities,
+)
+
+#: Hard cap for dense simulation; 2**20 complex amplitudes = 16 MiB.
+MAX_DENSE_QUBITS = 20
+
+_PAULI_MATRICES = {
+    "x": _gates.X_MATRIX,
+    "y": _gates.Y_MATRIX,
+    "z": _gates.Z_MATRIX,
+}
+
+
+def _compact(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Relabel touched qubits to 0..k-1 so wide-but-sparse circuits stay dense.
+
+    Transpiled circuits live on *physical* qubit indices of a (possibly
+    127-qubit) device while touching only a handful of them; simulation only
+    needs the touched ones.
+    """
+    touched = sorted({q for inst in circuit for q in inst.qubits})
+    if not touched:
+        touched = [0]
+    if len(touched) == circuit.num_qubits and touched[-1] == len(touched) - 1:
+        return circuit
+    remap = {q: i for i, q in enumerate(touched)}
+    out = QuantumCircuit(len(touched), max(circuit.num_clbits, 0), name=circuit.name)
+    for inst in circuit:
+        mapped = Instruction(
+            inst.name,
+            tuple(remap[q] for q in inst.qubits),
+            inst.clbits,
+            inst.params,
+            inst.condition,
+        )
+        out._instructions.append(mapped)
+    return out
+
+
+def _validate(circuit: QuantumCircuit) -> None:
+    if circuit.num_qubits == 0:
+        raise SimulationError("cannot simulate a circuit with no qubits")
+    if circuit.num_qubits > MAX_DENSE_QUBITS:
+        raise SimulationError(
+            f"circuit touches {circuit.num_qubits} qubits; dense simulation "
+            f"is capped at {MAX_DENSE_QUBITS}"
+        )
+
+
+def _is_fast_path(circuit: QuantumCircuit, noise: NoiseModel | None) -> bool:
+    """True when sampling from the final state reproduces per-shot semantics."""
+    if noise is not None and not noise.is_trivial:
+        # Readout-only noise could in principle use the fast path, but
+        # flipping bits per shot costs the same as the trajectory loop, so
+        # only the fully-ideal case takes it.
+        return False
+    touched_after_measure: set[int] = set()
+    measured: set[int] = set()
+    for inst in circuit:
+        if inst.condition is not None or inst.name == "reset":
+            return False
+        if inst.name == "measure":
+            measured.add(inst.qubits[0])
+            continue
+        if inst.name == "barrier":
+            continue
+        for q in inst.qubits:
+            if q in measured:
+                touched_after_measure.add(q)
+    return not touched_after_measure
+
+
+def _fast_sample(
+    circuit: QuantumCircuit, shots: int, rng: np.random.Generator
+) -> list[str]:
+    """Sample shots from the final statevector (ideal, final-measurement case)."""
+    mapping = circuit.measured_qubit_to_clbit()
+    state = Statevector.from_circuit(circuit.remove_all_measurements())
+    num_clbits = circuit.num_clbits
+    if not mapping:
+        return ["0" * num_clbits] * shots if num_clbits else [""] * shots
+    qubits = list(mapping.keys())
+    probs = state.probabilities(qubits)
+    outcome_idx = rng.choice(len(probs), size=shots, p=probs / probs.sum())
+    results = []
+    for idx in outcome_idx:
+        bits = ["0"] * num_clbits
+        for pos, q in enumerate(qubits):
+            clbit = mapping[q]
+            bits[num_clbits - 1 - clbit] = str((idx >> pos) & 1)
+        results.append("".join(bits))
+    return results
+
+
+def _apply_gate_noise(
+    state: np.ndarray,
+    inst: Instruction,
+    noise: NoiseModel | None,
+    num_qubits: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    if noise is None:
+        return state
+    channel = noise.channel_for(inst.name, inst.qubits)
+    if channel is None:
+        return state
+    for q in inst.qubits:
+        pauli = channel.sample(rng)
+        if pauli is not None:
+            state = apply_matrix(state, _PAULI_MATRICES[pauli], [q], num_qubits)
+    return state
+
+
+def _run_trajectory(
+    circuit: QuantumCircuit,
+    noise: NoiseModel | None,
+    rng: np.random.Generator,
+) -> str:
+    """One noisy shot; returns the classical bitstring (clbit 0 rightmost)."""
+    n = circuit.num_qubits
+    state = np.zeros(2**n, dtype=np.complex128)
+    state[0] = 1.0
+    clbits = [0] * circuit.num_clbits
+    for inst in circuit:
+        if inst.name == "barrier":
+            continue
+        if inst.condition is not None:
+            bit, value = inst.condition
+            if clbits[bit] != value:
+                continue
+        if inst.name == "measure":
+            qubit = inst.qubits[0]
+            p1 = measure_probabilities(state, qubit, n)
+            outcome = 1 if rng.random() < p1 else 0
+            state = collapse(state, qubit, outcome, n)
+            recorded = outcome
+            if noise is not None:
+                readout = noise.readout_for(qubit)
+                if readout is not None:
+                    recorded = readout.apply(outcome, rng)
+            clbits[inst.clbits[0]] = recorded
+            continue
+        if inst.name == "reset":
+            qubit = inst.qubits[0]
+            p1 = measure_probabilities(state, qubit, n)
+            outcome = 1 if rng.random() < p1 else 0
+            state = collapse(state, qubit, outcome, n)
+            if outcome == 1:
+                state = apply_matrix(state, _gates.X_MATRIX, [qubit], n)
+            continue
+        state = apply_matrix(state, inst.matrix(), inst.qubits, n)
+        state = _apply_gate_noise(state, inst, noise, n, rng)
+    return "".join(str(b) for b in reversed(clbits))
+
+
+def simulate_counts(
+    circuit: QuantumCircuit,
+    shots: int,
+    rng: np.random.Generator,
+    noise: NoiseModel | None = None,
+    memory: bool = False,
+) -> tuple[dict[str, int], list[str] | None]:
+    """Execute a circuit and return ``(counts, memory)``.
+
+    ``counts`` maps classical bitstrings (clbit 0 rightmost) to frequencies;
+    ``memory`` is the per-shot list when requested, else ``None``.
+    """
+    circuit = _compact(circuit)
+    _validate(circuit)
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    if _is_fast_path(circuit, noise):
+        outcomes = _fast_sample(circuit, shots, rng)
+    else:
+        outcomes = [_run_trajectory(circuit, noise, rng) for _ in range(shots)]
+    counts: dict[str, int] = {}
+    for bits in outcomes:
+        counts[bits] = counts.get(bits, 0) + 1
+    return dict(sorted(counts.items())), (outcomes if memory else None)

@@ -1,0 +1,28 @@
+"""Transpiler: basis decomposition, layout, SWAP routing, peephole passes."""
+
+from repro.quantum.transpiler.decompose import (
+    decompose_to_basis,
+    one_qubit_to_basis,
+    zyz_angles,
+)
+from repro.quantum.transpiler.passes import (
+    cancel_adjacent_inverses,
+    merge_rotations,
+    optimize,
+)
+from repro.quantum.transpiler.pipeline import DEFAULT_BASIS, transpile
+from repro.quantum.transpiler.routing import Layout, dense_layout, route
+
+__all__ = [
+    "DEFAULT_BASIS",
+    "Layout",
+    "cancel_adjacent_inverses",
+    "decompose_to_basis",
+    "dense_layout",
+    "merge_rotations",
+    "one_qubit_to_basis",
+    "optimize",
+    "route",
+    "transpile",
+    "zyz_angles",
+]

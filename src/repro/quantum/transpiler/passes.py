@@ -1,0 +1,140 @@
+"""Peephole optimization passes over instruction lists.
+
+Kept intentionally simple: cancel adjacent self-inverse pairs, merge adjacent
+rotations about the same axis, and drop identity rotations.  Each pass is a
+pure function ``list[Instruction] -> list[Instruction]`` so passes compose and
+test in isolation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.quantum import gates as _gates
+from repro.quantum.circuit import Instruction
+
+_ATOL = 1e-10
+_MERGEABLE = {"rx", "ry", "rz", "p"}
+
+
+def _commutes_past(pending: Instruction, inst: Instruction) -> bool:
+    """Conservative check: ops on disjoint wires commute."""
+    if pending.condition is not None or inst.condition is not None:
+        return False
+    shared_q = set(pending.qubits) & set(inst.qubits)
+    shared_c = set(pending.clbits) & set(inst.clbits)
+    return not shared_q and not shared_c
+
+
+def cancel_adjacent_inverses(instructions: list[Instruction]) -> list[Instruction]:
+    """Remove pairs like ``h q0 ; h q0`` and ``s q0 ; sdg q0``.
+
+    A pair cancels when the two instructions are adjacent on every wire they
+    touch (instructions on disjoint wires in between are skipped over).
+    Iterates to a fixed point so cascading cancellations are found.
+    """
+    changed = True
+    current = list(instructions)
+    while changed:
+        changed = False
+        out: list[Instruction] = []
+        for inst in current:
+            if inst.name == "barrier" or not inst.is_unitary:
+                out.append(inst)
+                continue
+            # Look backwards for the most recent op sharing a wire.
+            partner_idx = None
+            for j in range(len(out) - 1, -1, -1):
+                prev = out[j]
+                if _commutes_past(prev, inst):
+                    continue
+                partner_idx = j
+                break
+            if partner_idx is not None and _is_inverse_pair(out[partner_idx], inst):
+                del out[partner_idx]
+                changed = True
+                continue
+            out.append(inst)
+        current = out
+    return current
+
+
+def _is_inverse_pair(a: Instruction, b: Instruction) -> bool:
+    if a.qubits != b.qubits or a.name == "barrier" or b.name == "barrier":
+        return False
+    if not a.is_unitary or not b.is_unitary:
+        return False
+    if a.condition is not None or b.condition is not None:
+        return False
+    spec_a = _gates.get_spec(a.name)
+    if spec_a.self_inverse and a.name == b.name and a.params == b.params:
+        return True
+    if spec_a.hermitian_pair == b.name and a.params == b.params:
+        return True
+    if a.name == b.name and a.name in _MERGEABLE:
+        return abs(_wrap(a.params[0] + b.params[0])) < _ATOL
+    return False
+
+
+def _wrap(angle: float) -> float:
+    wrapped = math.fmod(angle + math.pi, 2 * math.pi)
+    if wrapped <= 0:
+        wrapped += 2 * math.pi
+    return wrapped - math.pi
+
+
+def merge_rotations(instructions: list[Instruction]) -> list[Instruction]:
+    """Fuse adjacent same-axis rotations on the same qubit; drop zero angles."""
+    out: list[Instruction] = []
+    for inst in instructions:
+        if (
+            inst.name in _MERGEABLE
+            and inst.condition is None
+            and out
+            and _find_merge_partner(out, inst) is not None
+        ):
+            j = _find_merge_partner(out, inst)
+            assert j is not None
+            merged_angle = _wrap(out[j].params[0] + inst.params[0])
+            if abs(merged_angle) < _ATOL:
+                del out[j]
+            else:
+                out[j] = Instruction(
+                    inst.name, inst.qubits, inst.clbits, (merged_angle,)
+                )
+            continue
+        if inst.name in _MERGEABLE and abs(_wrap(inst.params[0])) < _ATOL:
+            continue  # identity rotation
+        out.append(inst)
+    return out
+
+
+def _find_merge_partner(out: list[Instruction], inst: Instruction) -> int | None:
+    for j in range(len(out) - 1, -1, -1):
+        prev = out[j]
+        if _commutes_past(prev, inst):
+            continue
+        if (
+            prev.name == inst.name
+            and prev.qubits == inst.qubits
+            and prev.condition is None
+        ):
+            return j
+        return None
+    return None
+
+
+def drop_barriers(instructions: list[Instruction]) -> list[Instruction]:
+    return [i for i in instructions if i.name != "barrier"]
+
+
+def optimize(instructions: list[Instruction], level: int = 1) -> list[Instruction]:
+    """Run the pass stack for the given optimization level (0 disables)."""
+    if level <= 0:
+        return list(instructions)
+    current = merge_rotations(instructions)
+    current = cancel_adjacent_inverses(current)
+    if level >= 2:
+        current = merge_rotations(current)
+        current = cancel_adjacent_inverses(current)
+    return current

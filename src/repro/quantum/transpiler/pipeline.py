@@ -1,0 +1,100 @@
+"""The top-level :func:`transpile` entry point.
+
+Pipeline: decompose -> layout -> route -> decompose residual swaps -> optimize.
+The output circuit lives on *physical* qubit indices (width = device size when
+a coupling map is involved); the chosen layout is recorded in
+``circuit.metadata['layout']``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import TranspilerError
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.topology import CouplingMap
+from repro.quantum.transpiler.decompose import decompose_to_basis
+from repro.quantum.transpiler.passes import optimize
+from repro.quantum.transpiler.routing import Layout, dense_layout, route
+
+#: Hardware-style default basis (matches the fake IBM backends).
+DEFAULT_BASIS = ("id", "rz", "sx", "x", "cx")
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    backend=None,
+    coupling_map: CouplingMap | None = None,
+    basis_gates: Sequence[str] | None = None,
+    initial_layout: Sequence[int] | None = None,
+    optimization_level: int = 1,
+) -> QuantumCircuit:
+    """Lower a circuit to a device's basis and connectivity.
+
+    Args:
+        circuit: the logical circuit.
+        backend: optional backend; supplies coupling map and basis gates.
+        coupling_map: overrides the backend's coupling map.
+        basis_gates: overrides the backend's basis gates.
+        initial_layout: explicit logical->physical placement (list where entry
+            ``i`` is the physical qubit for logical qubit ``i``).
+        optimization_level: 0 disables peephole optimization; 1 (default) and
+            2 enable increasingly repeated passes.
+
+    Returns:
+        A new circuit on physical qubits.  ``metadata['layout']`` maps logical
+        to physical indices; ``metadata['final_layout']`` gives the mapping
+        after routing SWAPs.
+    """
+    if backend is not None:
+        if coupling_map is None:
+            coupling_map = backend.coupling_map
+        if basis_gates is None:
+            basis_gates = backend.basis_gates
+    basis = tuple(basis_gates) if basis_gates is not None else DEFAULT_BASIS
+
+    instructions = decompose_to_basis(circuit.instructions, basis)
+
+    if coupling_map is None:
+        out = QuantumCircuit(
+            circuit.num_qubits, circuit.num_clbits, name=f"{circuit.name}_t"
+        )
+        out._instructions = optimize(instructions, optimization_level)
+        out.metadata = dict(circuit.metadata)
+        out.metadata["layout"] = {i: i for i in range(circuit.num_qubits)}
+        return out
+
+    if circuit.num_qubits > coupling_map.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits, coupling map has "
+            f"{coupling_map.num_qubits}"
+        )
+    if initial_layout is not None:
+        if len(initial_layout) != circuit.num_qubits:
+            raise TranspilerError(
+                f"initial_layout has {len(initial_layout)} entries for a "
+                f"{circuit.num_qubits}-qubit circuit"
+            )
+        for phys in initial_layout:
+            if not 0 <= phys < coupling_map.num_qubits:
+                raise TranspilerError(
+                    f"initial_layout entry {phys} is outside the device "
+                    f"(0..{coupling_map.num_qubits - 1})"
+                )
+        layout = Layout.from_sequence(list(initial_layout))
+    else:
+        layout = dense_layout(circuit, coupling_map)
+
+    routed, final_layout = route(instructions, layout, coupling_map)
+    # Routing introduces swap gates between coupled qubits; lower them too.
+    routed = decompose_to_basis(routed, basis)
+    routed = optimize(routed, optimization_level)
+
+    out = QuantumCircuit(
+        coupling_map.num_qubits, circuit.num_clbits, name=f"{circuit.name}_t"
+    )
+    out._instructions = routed
+    out.metadata = dict(circuit.metadata)
+    out.metadata["layout"] = layout.to_dict()
+    out.metadata["final_layout"] = final_layout.to_dict()
+    return out

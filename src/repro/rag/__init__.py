@@ -1,0 +1,19 @@
+"""Retrieval-augmented generation: embeddings, chunking, store, retriever."""
+
+from repro.rag.chunking import Chunk, code_aware_chunks, naive_chunks
+from repro.rag.docs import ALGORITHM_GUIDES, API_DOCS
+from repro.rag.embedding import TfidfEmbedder
+from repro.rag.retriever import Retriever
+from repro.rag.store import Hit, VectorStore
+
+__all__ = [
+    "ALGORITHM_GUIDES",
+    "API_DOCS",
+    "Chunk",
+    "Hit",
+    "Retriever",
+    "TfidfEmbedder",
+    "VectorStore",
+    "code_aware_chunks",
+    "naive_chunks",
+]

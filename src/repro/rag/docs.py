@@ -1,0 +1,163 @@
+"""The two bundled RAG corpora (paper Section IV-C).
+
+* :data:`API_DOCS` — "the documentation for the latest Qiskit version":
+  current-API reference pages *including migration notes* for every removed
+  symbol.  Retrieval hits on these notes are what mechanically suppress
+  legacy-API emissions.
+* :data:`ALGORITHM_GUIDES` — "guides and tutorials explaining the ideas
+  behind and structures of a collection of quantum algorithms".
+
+Both are plain strings keyed by document id so chunking strategies can be
+ablated over identical content.
+"""
+
+from __future__ import annotations
+
+API_DOCS: dict[str, str] = {
+    "circuits": """\
+# Building circuits
+
+QuantumCircuit(num_qubits, num_clbits) constructs a circuit. Gates are added
+with builder methods: qc.h(q), qc.x(q), qc.cx(control, target),
+qc.cz(control, target), qc.ccx(c1, c2, target), qc.swap(a, b),
+qc.rx(theta, q), qc.ry(theta, q), qc.rz(theta, q), qc.p(lam, q),
+qc.u(theta, phi, lam, q), qc.cp(lam, control, target).
+
+Measurement: qc.measure(qubit, clbit) or qc.measure_all().
+Conditioned gates: qc.append("x", [q], condition=(clbit, 1)).
+
+## Migration notes (removed in v1)
+- QuantumCircuit.cu1(lam, c, t) was removed: use qc.cp(lam, c, t).
+- QuantumCircuit.u1(lam, q) was removed: use qc.p(lam, q).
+- QuantumCircuit.u2(phi, lam, q) was removed: use qc.u(pi/2, phi, lam, q).
+- QuantumCircuit.u3(theta, phi, lam, q) was removed: use qc.u(theta, phi, lam, q).
+- QuantumCircuit.toffoli(a, b, t) was removed: use qc.ccx(a, b, t).
+- QuantumCircuit.fredkin(c, a, b) was removed: use qc.cswap(c, a, b).
+- QuantumCircuit.cnot(c, t) was removed: use qc.cx(c, t).
+- QuantumCircuit.iden(q) was removed: use qc.id(q).
+""",
+    "execution": """\
+# Running circuits
+
+Instantiate a backend and call run(); results come from the job object:
+
+    from repro.quantum import LocalSimulator
+    backend = LocalSimulator()
+    job = backend.run(qc, shots=1024, seed=7)
+    counts = job.result().get_counts()
+
+Device-style backends (FakeBrisbane, FakeFalcon) enforce a coupling map and
+basis gates; transpile first:
+
+    from repro.quantum import FakeBrisbane, transpile
+    backend = FakeBrisbane()
+    tqc = transpile(qc, backend=backend)
+    counts = backend.run(tqc, shots=1024).result().get_counts()
+
+## Migration notes (removed in v1)
+- execute(circuit, backend, shots) was removed: use
+  backend.run(circuit, shots=...) and job.result().
+- Aer.get_backend("qasm_simulator") was removed: instantiate
+  LocalSimulator() directly.
+- BasicAer was removed: instantiate LocalSimulator() directly.
+- IBMQ provider access was removed: use FakeBrisbane() or another Backend.
+- result.get_statevector() was removed: use Statevector.from_circuit(qc).
+""",
+    "statevector": """\
+# Statevector analysis
+
+Statevector.from_circuit(qc) simulates the unitary part of a circuit
+(trailing measurements are ignored). Useful methods:
+probabilities_dict(), sample_counts(shots, rng), expectation_value("ZZI"),
+fidelity(other), equiv(other).
+
+Statevector.from_label("01+") builds product states.
+""",
+    "transpiler": """\
+# Transpilation
+
+transpile(circuit, backend=...) lowers a circuit to the backend's basis
+gates and coupling map: gate decomposition, qubit layout, SWAP routing and
+peephole optimization. Options: coupling_map, basis_gates, initial_layout,
+optimization_level (0-2).
+
+The transpiled circuit lives on physical qubit indices;
+circuit.metadata["layout"] records the logical-to-physical mapping.
+
+## Migration notes (removed in v1)
+- compile_circuit(...) was removed: use transpile(circuit, backend=...).
+""",
+    "noise": """\
+# Noise models
+
+NoiseModel.uniform_depolarizing(p_1q, p_2q, p_readout) builds a device-style
+model. Channels: PauliNoise.depolarizing(p), .bit_flip(p), .phase_flip(p);
+ReadoutError.symmetric(p). Attach to NoisySimulator(noise_model) or scale an
+existing model with noise_model.scaled(factor).
+""",
+    "qasm": """\
+# OpenQASM
+
+circuit_to_qasm(qc) serialises to OpenQASM 2; qasm_to_circuit(text) parses a
+subset back. Supported: the standard gate set, measure, reset, barrier and
+single-bit if-conditions.
+""",
+}
+
+
+ALGORITHM_GUIDES: dict[str, str] = {
+    "bell_ghz": """\
+# Entangled states
+
+A Bell pair is a Hadamard followed by a CNOT; measuring both qubits yields
+00 or 11 with equal probability. The n-qubit GHZ state generalises this:
+H on qubit 0, then CNOTs chained qubit-to-qubit down the register.
+""",
+    "deutsch_jozsa": """\
+# Deutsch-Jozsa
+
+Decides whether a promise oracle is constant or balanced with one query.
+Structure: flip the ancilla with X and Hadamard everything so the ancilla is
+in the minus state; apply the oracle (phase kickback); Hadamard the input
+register again and measure. All-zeros means constant; anything else means
+balanced.
+""",
+    "grover": """\
+# Grover search
+
+Amplitude amplification around the marked states. Start from the uniform
+superposition; each iteration applies the phase oracle then the diffuser
+(H on all, X on all, multi-controlled Z, X on all, H on all). The optimal
+iteration count is about pi/4 * sqrt(N/M); overshooting reduces the success
+probability again.
+""",
+    "qft_qpe": """\
+# QFT and phase estimation
+
+The QFT applies H plus controlled-phase rotations pi/2^k between qubit
+pairs, then swaps for bit order. Phase estimation prepares counting qubits
+in plus states, applies controlled powers of the unitary (controlled-P with
+angle 2 pi phase 2^k from counting qubit k), then the INVERSE QFT on the
+counting register before measuring. Forgetting the inverse QFT is the most
+common mistake.
+""",
+    "teleport_superdense": """\
+# Teleportation and superdense coding
+
+Teleportation: share a Bell pair (qubits 1,2); Bell-measure the message
+qubit 0 with qubit 1 (CNOT then H, measure both); apply X to qubit 2 if the
+second bit fired and Z if the first did. Superdense coding is the reverse
+direction: encode two classical bits by applying X (high bit) and Z (low
+bit) to your Bell half; decode with CNOT and H, then measure.
+""",
+    "walk_annealing": """\
+# Quantum walks and annealing
+
+A discrete-time walk on a cycle uses position qubits plus a coin: Hadamard
+the coin, then increment the position conditioned on coin=1 and decrement
+conditioned on coin=0 (controlled adders built from CCX and CX).
+Annealing-style evolution Trotterises H(s) = (1-s) X-driver + s ZZ-problem:
+RZZ couplings then RX fields per slice, ramping s from 0 to 1, starting from
+the all-plus state.
+""",
+}

@@ -1,0 +1,66 @@
+"""Text embeddings for retrieval: hashed TF-IDF vectors.
+
+Tokens are hashed into a fixed-dimension vector (the "hashing trick"), with
+IDF weights learned from the indexed corpus.  No external model is needed,
+and similarity behaves the way retrieval needs it to: documents sharing rare
+technical terms (gate names, API symbols) score far above documents sharing
+stopwords.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.errors import RAGError
+from repro.llm.tokenizer import tokenize
+from repro.utils.rng import stable_hash
+
+
+class TfidfEmbedder:
+    """Hashed TF-IDF embedding with cosine similarity."""
+
+    def __init__(self, dim: int = 512) -> None:
+        if dim < 16:
+            raise RAGError(f"embedding dimension too small: {dim}")
+        self.dim = dim
+        self._doc_freq: Counter = Counter()
+        self._num_docs = 0
+
+    # -- fitting -------------------------------------------------------------
+
+    def fit(self, documents: list[str]) -> "TfidfEmbedder":
+        """Learn IDF statistics from the corpus to be indexed."""
+        for doc in documents:
+            self._doc_freq.update(set(self._terms(doc)))
+        self._num_docs += len(documents)
+        return self
+
+    def _terms(self, text: str) -> list[str]:
+        return [t.lower() for t in tokenize(text) if t.strip() and t != "\n"]
+
+    def _idf(self, term: str) -> float:
+        df = self._doc_freq.get(term, 0)
+        return math.log((1 + self._num_docs) / (1 + df)) + 1.0
+
+    # -- embedding ---------------------------------------------------------------
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text into a unit-norm vector."""
+        vec = np.zeros(self.dim)
+        counts = Counter(self._terms(text))
+        if not counts:
+            return vec
+        for term, tf in counts.items():
+            slot = stable_hash("tfidf", term) % self.dim
+            sign = 1.0 if stable_hash("sign", term) % 2 == 0 else -1.0
+            vec[slot] += sign * (1 + math.log(tf)) * self._idf(term)
+        norm = np.linalg.norm(vec)
+        return vec / norm if norm > 0 else vec
+
+    @staticmethod
+    def similarity(a: np.ndarray, b: np.ndarray) -> float:
+        """Cosine similarity of two (already normalised) embeddings."""
+        return float(np.dot(a, b))

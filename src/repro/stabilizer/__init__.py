@@ -1,0 +1,6 @@
+"""Stabilizer formalism: Pauli algebra and CHP tableau simulation."""
+
+from repro.stabilizer.pauli import PauliString, syndrome_of
+from repro.stabilizer.tableau import StabilizerTableau
+
+__all__ = ["PauliString", "StabilizerTableau", "syndrome_of"]

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG derivation, text helpers, ASCII reporting."""
+
+from repro.utils.rng import derive_rng, derive_seed, stable_hash
+from repro.utils.tables import AsciiTable, format_histogram
+from repro.utils.stats import (
+    binomial_confidence_interval,
+    mean,
+    total_variation_distance,
+)
+
+__all__ = [
+    "derive_rng",
+    "derive_seed",
+    "stable_hash",
+    "AsciiTable",
+    "format_histogram",
+    "binomial_confidence_interval",
+    "mean",
+    "total_variation_distance",
+]

@@ -1,0 +1,56 @@
+"""Small statistics helpers used by graders and experiment reports."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; returns 0.0 for an empty iterable."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def binomial_confidence_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to attach error bars to accuracy numbers in experiment reports.  The
+    Wilson interval behaves sensibly near 0 and 1, unlike the normal
+    approximation.
+    """
+    if trials <= 0:
+        return (0.0, 0.0)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+def total_variation_distance(
+    p: Mapping[str, float], q: Mapping[str, float]
+) -> float:
+    """Total variation distance between two distributions over bitstrings.
+
+    Both mappings are normalised before comparison so callers may pass raw
+    counts.  TVD is the semantic-grading metric: a generated circuit is
+    semantically correct when its output distribution is close to the
+    reference distribution (paper Section III-B's "semantic testing").
+    """
+    p_total = sum(p.values())
+    q_total = sum(q.values())
+    if p_total <= 0 or q_total <= 0:
+        return 1.0
+    keys = set(p) | set(q)
+    return 0.5 * sum(
+        abs(p.get(k, 0.0) / p_total - q.get(k, 0.0) / q_total) for k in keys
+    )

@@ -1,0 +1,85 @@
+"""ASCII reporting: aligned tables and horizontal bar histograms.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output readable in a terminal without plotting libraries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+class AsciiTable:
+    """A minimal fixed-width table renderer.
+
+    Example::
+
+        table = AsciiTable(["Model", "QHE Score"])
+        table.add_row(["Starcoder2-7B", "17.9%"])
+        print(table.render())
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.headers = [str(h) for h in headers]
+        self.title = title
+        self._rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(row)
+
+    @property
+    def rows(self) -> list[list[str]]:
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(row: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(rule))
+        lines.append(fmt(self.headers))
+        lines.append(rule)
+        lines.extend(fmt(row) for row in self._rows)
+        return "\n".join(lines)
+
+
+def format_histogram(
+    counts: Mapping[str, float],
+    width: int = 40,
+    title: str | None = None,
+    sort_by_key: bool = True,
+) -> str:
+    """Render counts as a horizontal ASCII bar chart.
+
+    Used to print the Figure-4 style measurement histograms (noisy vs
+    QEC-corrected Deutsch–Jozsa results).
+    """
+    if not counts:
+        return "(empty histogram)"
+    items = sorted(counts.items()) if sort_by_key else sorted(
+        counts.items(), key=lambda kv: -kv[1]
+    )
+    total = sum(v for _, v in items)
+    peak = max(v for _, v in items)
+    key_width = max(len(k) for k, _ in items)
+    lines = []
+    if title:
+        lines.append(title)
+    for key, value in items:
+        bar = "#" * int(round(width * value / peak)) if peak > 0 else ""
+        share = value / total if total > 0 else 0.0
+        lines.append(f"{key.rjust(key_width)} | {bar.ljust(width)} {share:7.2%}")
+    return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Multi-agent framework: sandbox, analyzer, QEC agent, orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.agents.base import AgentMessage, EpisodeLog
+from repro.agents.codegen import CodeGenerationAgent, GenerationRequest
+from repro.agents.orchestrator import Orchestrator
+from repro.agents.qec_agent import QECAgent
+from repro.agents.sandbox import run_code
+from repro.agents.semantic import SemanticAnalyzerAgent
+from repro.errors import TopologyError
+from repro.llm.model import make_model
+from repro.llm.synthesis import synthesize
+from repro.quantum.backend import FakeBrisbane, LocalSimulator, NoisySimulator
+from repro.quantum.noise import NoiseModel
+from repro.quantum.topology import CouplingMap
+
+
+class TestSandbox:
+    def test_ok_execution_exposes_namespace(self):
+        result = run_code("x = 41 + 1")
+        assert result.ok
+        assert result.artifact("x") == 42
+
+    def test_allowed_imports(self):
+        result = run_code(
+            "import math\nfrom repro.quantum import QuantumCircuit\n"
+            "qc = QuantumCircuit(1)\nqc.rx(math.pi, 0)\n"
+        )
+        assert result.ok
+
+    def test_blocked_import(self):
+        result = run_code("import os")
+        assert not result.ok
+        assert "not allowed" in result.exception_message
+
+    def test_blocked_subprocess(self):
+        result = run_code("import subprocess")
+        assert not result.ok
+
+    def test_open_is_unavailable(self):
+        result = run_code("open('/etc/passwd')")
+        assert not result.ok
+        assert result.exception_type == "NameError"
+
+    def test_syntax_error_reported_with_line(self):
+        result = run_code("qc = foo(\n")
+        assert not result.ok
+        assert result.exception_type == "SyntaxError"
+        assert "line" in result.trace
+
+    def test_runtime_error_trace(self):
+        result = run_code("raise ValueError('boom')")
+        assert not result.ok
+        assert result.exception_type == "ValueError"
+        assert "boom" in result.trace
+
+    def test_stdout_captured(self):
+        result = run_code("print('hello')")
+        assert result.stdout == "hello\n"
+
+    def test_deprecation_error_trace_has_migration(self):
+        code = (
+            "from repro.quantum import QuantumCircuit, execute\n"
+            "qc = QuantumCircuit(1)\nexecute(qc, None)\n"
+        )
+        result = run_code(code)
+        assert not result.ok
+        assert "Migration" in result.trace
+
+
+class TestSemanticAnalyzer:
+    def test_reference_distribution_grading(self):
+        analyzer = SemanticAnalyzerAgent()
+        good = synthesize("bell", {}, "correct")
+        report = analyzer.analyze(good, good)
+        assert report.passed
+        assert report.tvd == pytest.approx(0.0, abs=1e-9)
+
+    def test_statevector_fidelity_grading(self):
+        analyzer = SemanticAnalyzerAgent()
+        reference = synthesize("qft", {"n": 3}, "correct")
+        wrong = synthesize("qft", {"n": 3}, "structure")
+        report = analyzer.analyze(wrong, reference)
+        assert report.syntactic_ok
+        assert report.semantic_ok is False
+        assert "fidelity" in report.detail
+
+    def test_measured_candidate_fails_statevector_task(self):
+        analyzer = SemanticAnalyzerAgent()
+        reference = synthesize("statevector", {"label": "01"}, "correct")
+        from repro.llm.synthesis import synthesize_nonsense
+
+        report = analyzer.analyze(synthesize_nonsense({}), reference)
+        assert report.semantic_ok is False
+
+    def test_no_reference_grades_syntax_only(self):
+        analyzer = SemanticAnalyzerAgent()
+        report = analyzer.analyze(synthesize("bell", {}, "correct"))
+        assert report.syntactic_ok
+        assert report.semantic_ok is None
+        assert report.passed
+
+    def test_checker_exceptions_count_as_failure(self):
+        analyzer = SemanticAnalyzerAgent()
+
+        def bad_checker(ns):
+            raise RuntimeError("checker bug")
+
+        report = analyzer.analyze("x = 1", checker=bad_checker)
+        assert report.semantic_ok is False
+
+    def test_broken_reference_raises(self):
+        analyzer = SemanticAnalyzerAgent()
+        with pytest.raises(RuntimeError, match="reference"):
+            analyzer.analyze("x = 1", reference_code="this is ( not python")
+
+    def test_refine_fixes_syntactic_fault(self):
+        """Deterministic repair loop: inject a known fault, watch it heal."""
+        from repro.llm.faults import inject_legacy_api
+        from repro.llm.model import Completion
+        from repro.utils.rng import derive_rng
+
+        model = make_model(fine_tuned=True)
+        codegen = CodeGenerationAgent(model)
+        analyzer = SemanticAnalyzerAgent()
+        good = synthesize("bell", {}, "correct")
+        broken = inject_legacy_api(good, derive_rng(0, "t")).code
+        completion = Completion(
+            code=broken, family="bell", tier="basic", variant="correct",
+            injected_faults=["legacy_api"], knowledge_hit=True,
+        )
+        request = GenerationRequest(
+            prompt_text="Create a Bell state and measure both qubits",
+            params={}, seed=2,
+        )
+        fixed = False
+        for seed in range(25):
+            request = GenerationRequest(
+                prompt_text="Create a Bell state and measure both qubits",
+                params={}, seed=seed,
+            )
+            refinement = analyzer.refine(
+                codegen, request, completion, reference_code=good, max_passes=4
+            )
+            if refinement.report.passed:
+                fixed = True
+                assert refinement.passes_used >= 2
+                break
+        assert fixed, "legacy fault never repaired in 25 attempts"
+
+    def test_refine_single_pass_does_not_repair(self):
+        model = make_model(fine_tuned=True)
+        codegen = CodeGenerationAgent(model)
+        analyzer = SemanticAnalyzerAgent()
+        request = GenerationRequest("Create a Bell state", {}, seed=1)
+        completion, _ = codegen.generate(request)
+        refinement = analyzer.refine(
+            codegen, request, completion, max_passes=1
+        )
+        assert refinement.passes_used == 1
+
+
+class TestQECAgent:
+    def _grid_backend(self):
+        return NoisySimulator(
+            NoiseModel.uniform_depolarizing(3e-4, 8e-3, 1.5e-2),
+            CouplingMap.grid(5, 5),
+            name="grid-device",
+        )
+
+    def test_apply_on_grid_device(self):
+        agent = QECAgent(distance=3, shots=100, seed=1)
+        application = agent.apply(self._grid_backend())
+        assert 0 < application.suppression_factor <= 1.0
+        assert application.lifetime_gain >= 1.0
+        assert not application.decoder.simulated_lattice
+        assert application.corrected_backend.noise_model is not None
+
+    def test_needs_coupling_map(self):
+        agent = QECAgent()
+        with pytest.raises(TopologyError, match="coupling map"):
+            agent.apply(LocalSimulator())
+
+    def test_needs_noise(self):
+        agent = QECAgent()
+        silent = NoisySimulator(
+            NoiseModel(), CouplingMap.grid(5, 5), name="silent"
+        )
+        with pytest.raises(TopologyError, match="noiseless"):
+            agent.apply(silent)
+
+    def test_heavy_hex_needs_fallback(self):
+        agent = QECAgent(shots=50)
+        with pytest.raises(TopologyError):
+            agent.apply(FakeBrisbane(), allow_simulated_lattice=False)
+        application = agent.apply(FakeBrisbane(), allow_simulated_lattice=True)
+        assert application.decoder.simulated_lattice
+
+    def test_run_with_qec_improves_fidelity(self):
+        from repro.quantum.library import ghz_state
+        from repro.quantum.transpiler import transpile
+
+        # Noise high enough that the memory experiment observes failures
+        # (so the factor is a measurement, not a Wilson bound) but still
+        # comfortably below the ~3% threshold where QEC stops helping.
+        backend = NoisySimulator(
+            NoiseModel.uniform_depolarizing(1e-3, 1.2e-2, 1.5e-2),
+            CouplingMap.grid(5, 5),
+            name="noisier-grid",
+        )
+        qc = transpile(ghz_state(3, measure=True), coupling_map=backend.coupling_map)
+        agent = QECAgent(distance=3, shots=600, seed=4)
+        counts, application = agent.run_with_qec(qc, backend, shots=2000, seed=4)
+        assert application.suppression_factor < 1.0
+        raw = backend.run(qc, shots=2000, seed=4).result().get_counts()
+        good = lambda c: (c.get("000", 0) + c.get("111", 0)) / 2000  # noqa: E731
+        assert good(counts) > good(raw)
+
+
+class TestOrchestrator:
+    def test_full_episode_with_reference(self):
+        orchestrator = Orchestrator(model=make_model(fine_tuned=True), max_passes=3)
+        reference = synthesize("bell", {}, "correct")
+        artifact = orchestrator.run_episode(
+            "Create a Bell state and measure both qubits on a simulator",
+            reference_code=reference,
+            seed=5,
+        )
+        assert artifact.code
+        assert len(artifact.log.messages) >= 3
+        assert artifact.log.messages[0].sender == "developer"
+
+    def test_qec_skipped_gracefully_on_bad_topology(self):
+        orchestrator = Orchestrator(model=make_model(fine_tuned=True))
+        orchestrator.qec_agent = QECAgent(shots=30)
+        backend = NoisySimulator(
+            NoiseModel.uniform_depolarizing(1e-3, 1e-2),
+            CouplingMap.ring(8),
+            name="ring-device",
+        )
+        # Disable fallback by calling apply with strictness via monkeypatch of
+        # the agent method: the orchestrator catches TopologyError.
+        original_apply = orchestrator.qec_agent.apply
+        orchestrator.qec_agent.apply = lambda b: original_apply(
+            b, allow_simulated_lattice=False
+        )
+        artifact = orchestrator.run_episode(
+            "Create a Bell state",
+            seed=1,
+            target_backend=backend,
+            apply_qec=True,
+        )
+        assert artifact.qec is None
+        assert any("skipped" in m.content for m in artifact.log.messages)
+
+    def test_rag_retriever_auto_constructed(self):
+        orchestrator = Orchestrator(
+            model=make_model(fine_tuned=True, rag_docs=True)
+        )
+        assert orchestrator.codegen.retriever is not None
+        assert orchestrator.codegen.retriever.datasets == ("docs",)
+
+    def test_episode_log_rendering(self):
+        log = EpisodeLog()
+        log.record(AgentMessage("a", "kind", "content line\nsecond"))
+        assert "[a/kind] content line" in log.render()

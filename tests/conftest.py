@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.backend import LocalSimulator
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def simulator():
+    return LocalSimulator()
+
+
+def counts_close(counts: dict, expected: dict, tolerance: float = 0.05) -> bool:
+    """True when two counts/probability dicts agree within ``tolerance`` TVD."""
+    total_a = sum(counts.values())
+    total_b = sum(expected.values())
+    keys = set(counts) | set(expected)
+    tvd = 0.5 * sum(
+        abs(counts.get(k, 0) / total_a - expected.get(k, 0) / total_b)
+        for k in keys
+    )
+    return tvd <= tolerance

@@ -1,0 +1,23 @@
+"""The EXPERIMENTS.md generator renders a complete report."""
+
+from repro.experiments.generate_report import COMMANDS, HEADER, render
+from repro.experiments.common import ExperimentResult
+
+
+def test_render_structure():
+    exp = ExperimentResult("figure3", "demo title")
+    exp.add("row", 10.0, 11.0)
+    text = render([("Figure 3 — demo", exp)])
+    assert text.startswith("# EXPERIMENTS")
+    assert "## Figure 3 — demo" in text
+    assert COMMANDS["Figure 3"] in text
+    assert "10.0%" in text and "11.0%" in text
+    assert "Notes on fidelity" in text
+
+
+def test_every_command_module_exists():
+    import importlib
+
+    for cmd in COMMANDS.values():
+        module = cmd.split()[-1]
+        assert importlib.import_module(module)

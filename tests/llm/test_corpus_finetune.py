@@ -1,0 +1,159 @@
+"""Corpus generation and the fine-tuning data pipeline."""
+
+import json
+from datetime import date
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.llm.corpus import (
+    FILTER_DATE,
+    LEGACY_MARKERS,
+    build_corpus,
+    is_official,
+)
+from repro.llm.finetune import (
+    DatasetConfig,
+    TrainingConfig,
+    apply_fim,
+    build_chunks,
+    chunk_tokens,
+    filter_files,
+    fine_tune,
+    lr_at_step,
+    split_notebook,
+)
+from repro.llm.tokenizer import (
+    END_OF_TEXT,
+    FIM_MIDDLE,
+    FIM_PREFIX,
+    FIM_SUFFIX,
+    MARKDOWN_TILE,
+    tokenize,
+)
+from repro.utils.rng import derive_rng
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a = build_corpus(seed=1)
+        b = build_corpus(seed=1)
+        assert [f.path for f in a] == [f.path for f in b]
+        assert [f.content for f in a] == [f.content for f in b]
+
+    def test_composition(self):
+        corpus = build_corpus(num_files=200, seed=2)
+        notebooks = sum(1 for f in corpus if f.is_notebook)
+        stale = sum(1 for f in corpus if f.last_updated < FILTER_DATE)
+        legacy = sum(
+            1 for f in corpus if any(m in f.content for m in LEGACY_MARKERS)
+        )
+        assert 0 < notebooks < 200
+        assert 0 < stale < 200
+        assert legacy > 20  # stale APIs are well represented
+
+    def test_notebooks_are_valid_json(self):
+        corpus = build_corpus(seed=3)
+        for f in corpus:
+            if f.is_notebook:
+                nb = json.loads(f.content)
+                assert nb["cells"]
+
+    def test_official_repos_exist(self):
+        corpus = build_corpus(seed=4)
+        assert any(is_official(f) for f in corpus)
+
+
+class TestFiltering:
+    def test_filters_apply(self):
+        corpus = build_corpus(num_files=200, seed=5)
+        kept = filter_files(corpus)
+        assert 0 < len(kept) < len(corpus)
+        for f in kept:
+            assert f.license in DatasetConfig().licenses
+            assert f.last_updated >= FILTER_DATE
+
+    def test_date_filter_boundary(self):
+        corpus = build_corpus(seed=6)
+        config = DatasetConfig(min_date=date(2099, 1, 1))
+        assert filter_files(corpus, config) == []
+
+    def test_quantum_import_required(self):
+        corpus = build_corpus(num_files=200, seed=7)
+        kept = filter_files(corpus)
+        for f in kept:
+            assert "repro.quantum" in f.content
+
+
+class TestNotebookSplitting:
+    def test_tiles_with_sentinels(self):
+        corpus = build_corpus(seed=8)
+        nb = next(f for f in corpus if f.is_notebook)
+        tiles = split_notebook(nb.content)
+        assert MARKDOWN_TILE in tiles or "<code>" in tiles
+
+    def test_malformed_rejected(self):
+        with pytest.raises(DatasetError):
+            split_notebook("not json at all")
+
+
+class TestChunkingAndFIM:
+    def test_chunk_sizes(self):
+        text = " ".join(["tok"] * 300)
+        chunks = chunk_tokens(text, 128)
+        assert all(len(c) <= 128 for c in chunks)
+        assert sum(len(c) for c in chunks) == 300
+
+    def test_fim_structure(self):
+        tokens = [str(i) for i in range(20)]
+        rng = derive_rng(0, "fim")
+        out = apply_fim(tokens, rng)
+        assert out[0] == FIM_PREFIX
+        assert FIM_SUFFIX in out and FIM_MIDDLE in out
+        assert out[-1] == END_OF_TEXT
+        # Content is a permutation of the original tokens.
+        body = [t for t in out if t not in (FIM_PREFIX, FIM_SUFFIX, FIM_MIDDLE, END_OF_TEXT)]
+        assert sorted(body) == sorted(tokens)
+
+    def test_fim_short_chunks_untouched(self):
+        tokens = ["a", "b"]
+        assert apply_fim(tokens, derive_rng(0, "x")) == tokens
+
+    def test_build_chunks_respects_rate(self):
+        texts = [" ".join(["tok"] * 200)] * 20
+        rng = derive_rng(1, "chunks")
+        chunks, fim_count = build_chunks(texts, DatasetConfig(fim_rate=0.5), rng)
+        assert 0.3 < fim_count / len(chunks) < 0.7
+
+    def test_zero_rate_no_fim(self):
+        texts = [" ".join(["tok"] * 200)]
+        _, fim_count = build_chunks(texts, DatasetConfig(fim_rate=0.0), derive_rng(2, "c"))
+        assert fim_count == 0
+
+
+class TestTraining:
+    def test_lr_schedule_shape(self):
+        config = TrainingConfig(steps=1500, warmup_steps=100, peak_lr=3e-4)
+        assert lr_at_step(0, config) == pytest.approx(3e-6)
+        assert lr_at_step(99, config) == pytest.approx(3e-4)
+        assert lr_at_step(100, config) == pytest.approx(3e-4, rel=1e-2)
+        assert lr_at_step(1499, config) < 1e-6  # cosine decayed to ~0
+
+    def test_fine_tune_end_to_end(self):
+        corpus = build_corpus(num_files=80, seed=9)
+        model, report = fine_tune(
+            corpus,
+            dataset_config=DatasetConfig(upsample_target_tokens=20_000),
+            training_config=TrainingConfig(steps=300, seed=9),
+        )
+        assert report.files_kept < report.files_scraped
+        assert report.perplexity_after < report.perplexity_before
+        assert report.upsampled_tokens > report.raw_tokens
+        assert 0 < report.legacy_share < 0.2
+        assert report.coverage["bell"]
+        assert len(report.lr_schedule) <= 300
+        assert "fine-tune:" in report.summary()
+
+    def test_fine_tune_empty_corpus_rejected(self):
+        with pytest.raises(DatasetError):
+            fine_tune([])

@@ -1,0 +1,165 @@
+"""Synthesis templates and the fault/repair engine."""
+
+import numpy as np
+import pytest
+
+from repro.agents.sandbox import run_code
+from repro.agents.semantic import SemanticAnalyzerAgent
+from repro.errors import GenerationError, LLMError
+from repro.llm import faults as F
+from repro.llm import synthesis
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return SemanticAnalyzerAgent()
+
+
+ALL_FAMILIES = synthesis.families()
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_correct_variant_runs(self, family):
+        code = synthesis.synthesize(family, {}, "correct")
+        result = run_code(code)
+        assert result.ok, (family, result.trace)
+        assert result.artifact("qc") is not None
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_corrupted_variants_fail_grading(self, family, analyzer):
+        from repro.evalsuite.suite import _CHECKERS
+
+        reference = synthesis.synthesize(family, {}, "correct")
+        checker = _CHECKERS.get(family)
+        for variant in ("structure", "params"):
+            code = synthesis.synthesize(family, {}, variant)
+            report = analyzer.analyze(code, reference, checker)
+            assert not report.passed, (family, variant)
+
+    def test_nonsense_runs_but_fails_grading(self, analyzer):
+        reference = synthesis.synthesize("grover", {"marked": "101"}, "correct")
+        code = synthesis.synthesize_nonsense({"marked": "101"})
+        report = analyzer.analyze(code, reference)
+        assert report.syntactic_ok
+        assert report.semantic_ok is False
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(GenerationError):
+            synthesis.synthesize("quantum_teapot", {})
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(GenerationError):
+            synthesis.synthesize("bell", {}, "chaotic")
+
+    def test_params_are_threaded(self):
+        code = synthesis.synthesize("bernstein_vazirani", {"secret": "1101"}, "correct")
+        result = run_code(code)
+        assert result.ok
+        assert max(result.artifact("counts"), key=result.artifact("counts").get) == "1101"
+
+
+class TestInjectors:
+    @pytest.mark.parametrize("mode", F.SYNTAX_MODES)
+    def test_each_injector_breaks_applicable_code(self, mode):
+        rng = derive_rng(0, "inject", mode)
+        # device_run carries every applicable site for missing_transpile.
+        family = "device_run" if mode == "missing_transpile" else "bell"
+        code = synthesis.synthesize(family, {}, "correct")
+        result = F.INJECTORS[mode](code, rng)
+        assert result.applied, mode
+        execution = run_code(result.code)
+        assert not execution.ok, (mode, result.code)
+
+    def test_injector_not_applied_returns_original(self):
+        code = synthesis.synthesize("statevector", {}, "correct")
+        result = F.inject_missing_transpile(code, derive_rng(0, "x"))
+        assert not result.applied
+        assert result.code == code
+
+    def test_legacy_injection_produces_deprecation_error(self):
+        code = synthesis.synthesize("ghz", {}, "correct")
+        result = F.inject_legacy_api(code, derive_rng(1, "leg"))
+        assert result.applied
+        execution = run_code(result.code)
+        assert "QuantumDeprecationError" in (execution.trace or "")
+
+
+class TestRepairs:
+    @pytest.mark.parametrize(
+        "mode,family",
+        [
+            ("legacy_api", "bell"),
+            ("deprecated_method", "qft"),
+            ("hallucinated_api", "bell"),
+            ("bad_index", "bell"),
+            ("python_syntax", "bell"),
+            ("missing_transpile", "device_run"),
+        ],
+    )
+    def test_repair_restores_execution(self, mode, family):
+        code = synthesis.synthesize(family, {}, "correct")
+        injected = F.INJECTORS[mode](code, derive_rng(2, "inj", mode))
+        assert injected.applied, mode
+        broken = run_code(injected.code)
+        assert not broken.ok
+        repaired_code, repaired_mode = F.repair_code(injected.code, broken.trace)
+        assert repaired_mode == mode, (mode, broken.trace)
+        fixed = run_code(repaired_code)
+        assert fixed.ok, (mode, fixed.trace, repaired_code)
+
+    def test_unrecognised_trace_returns_none(self):
+        code = "x = 1"
+        repaired, mode = F.repair_code(code, "SomethingWeirdError: boom")
+        assert mode is None
+        assert repaired == code
+
+
+class TestRates:
+    def test_resolve_rates_all_configs(self):
+        for scale in F.SCALES:
+            for ft in (False, True):
+                for style in F.PROMPT_STYLES:
+                    for profile in F.PROFILES:
+                        config = F.ModelConfig(
+                            scale=scale, fine_tuned=ft, prompt_style=style,
+                            profile=profile,
+                        )
+                        for tier in ("basic", "intermediate", "advanced"):
+                            rates = F.resolve_rates(config, tier)
+                            assert 0 <= rates.p_know <= 1
+                            assert all(0 <= v < 1 for v in rates.syntax.values())
+
+    def test_cot_boosts_knowledge(self):
+        plain = F.resolve_rates(F.ModelConfig("3b", True), "advanced")
+        cot = F.resolve_rates(
+            F.ModelConfig("3b", True, prompt_style="cot"), "advanced"
+        )
+        assert cot.p_know > plain.p_know
+        assert cot.p_scaffold_wrong > 0
+
+    def test_temperature_scales_faults(self):
+        cold = F.resolve_rates(F.ModelConfig("3b", True, temperature=0.2), "basic")
+        hot = F.resolve_rates(F.ModelConfig("3b", True, temperature=1.0), "basic")
+        assert hot.syntax["legacy_api"] > cold.syntax["legacy_api"]
+        assert hot.p_sem_params > cold.p_sem_params
+
+    def test_scale_reduces_qhe_syntax(self):
+        small = F.resolve_rates(F.ModelConfig("7b", True, profile="qhe"), "basic")
+        big = F.resolve_rates(F.ModelConfig("20b", True, profile="qhe"), "basic")
+        assert big.syntax["legacy_api"] < small.syntax["legacy_api"]
+
+    def test_config_validation(self):
+        with pytest.raises(LLMError):
+            F.ModelConfig(scale="9000b")
+        with pytest.raises(LLMError):
+            F.ModelConfig(prompt_style="vibes")
+        with pytest.raises(LLMError):
+            F.ModelConfig(profile="leetcode")
+        with pytest.raises(LLMError):
+            F.ModelConfig(temperature=0.0)
+
+    def test_label(self):
+        config = F.ModelConfig("7b", True, rag_docs=True, prompt_style="cot")
+        assert config.label() == "7B-QK-RAG-COT"

@@ -1,0 +1,116 @@
+"""Prompt templates, scaffold generation, and the prompt bank."""
+
+import pytest
+
+from repro.llm.knowledge import DEFAULT_KNOWLEDGE
+from repro.prompts.bank import suite_cases, tier_mix
+from repro.prompts.generator import (
+    MANUAL_SEED_FAMILIES,
+    ScaffoldGenerator,
+)
+from repro.prompts.templates import (
+    render_cot,
+    render_multipass,
+    render_plain,
+    render_scot,
+    render_semantic_feedback,
+)
+
+
+class TestTemplates:
+    def test_plain(self):
+        rendered = render_plain("do the thing")
+        assert rendered.style == "plain"
+        assert "do the thing" in rendered.text
+        assert "### Python code" in rendered.text
+
+    def test_cot_numbers_steps(self):
+        rendered = render_cot("task", ["first", "second"])
+        assert "1. first" in rendered.text
+        assert "2. second" in rendered.text
+        assert "step by step" in rendered.text
+
+    def test_scot_structure(self):
+        rendered = render_scot("task", ["qc = QuantumCircuit(2)", "loop:"])
+        assert rendered.style == "scot"
+        assert "sequence / branch / loop" in rendered.text
+
+    def test_multipass_carries_trace(self):
+        rendered = render_multipass("task", "code()", "BoomError: bad")
+        assert "BoomError" in rendered.text
+        assert "code()" in rendered.text
+        assert rendered.style == "multipass"
+
+    def test_semantic_feedback(self):
+        rendered = render_semantic_feedback("task", "code()", "TVD too high")
+        assert "TVD too high" in rendered.text
+
+
+class TestScaffoldGenerator:
+    def test_manual_seeds_never_corrupted(self):
+        generator = ScaffoldGenerator(corruption_rate=1.0)
+        for family in MANUAL_SEED_FAMILIES:
+            scaffold = generator.scaffold(family, "cot")
+            assert scaffold.manual
+            assert not scaffold.corrupted
+
+    def test_generated_can_be_corrupted(self):
+        generator = ScaffoldGenerator(corruption_rate=1.0)
+        scaffold = generator.scaffold("grover", "cot")
+        assert not scaffold.manual
+        assert scaffold.corrupted
+        original = DEFAULT_KNOWLEDGE.get("grover").outline
+        assert scaffold.steps != tuple(original)
+
+    def test_zero_corruption_preserves_outline(self):
+        generator = ScaffoldGenerator(corruption_rate=0.0)
+        scaffold = generator.scaffold("grover", "cot")
+        assert scaffold.steps == DEFAULT_KNOWLEDGE.get("grover").outline
+
+    def test_deterministic(self):
+        a = ScaffoldGenerator(seed=7).scaffold("qft", "scot")
+        b = ScaffoldGenerator(seed=7).scaffold("qft", "scot")
+        assert a == b
+
+    def test_render_produces_prompt(self):
+        generator = ScaffoldGenerator()
+        rendered = generator.render("some task", "bell", "cot")
+        assert rendered.style == "cot"
+        assert "some task" in rendered.text
+
+
+class TestPromptBank:
+    def test_size_and_mix(self):
+        cases = suite_cases()
+        assert len(cases) == 34
+        mix = tier_mix()
+        # The paper's 47% / 24% / 29% composition.
+        assert mix["basic"] == pytest.approx(0.47, abs=0.01)
+        assert mix["intermediate"] == pytest.approx(0.24, abs=0.01)
+        assert mix["advanced"] == pytest.approx(0.29, abs=0.01)
+
+    def test_unique_ids(self):
+        ids = [c.case_id for c in suite_cases()]
+        assert len(set(ids)) == len(ids)
+
+    def test_families_exist_in_knowledge_base(self):
+        for case in suite_cases():
+            DEFAULT_KNOWLEDGE.get(case.family)
+
+    def test_prompts_match_their_families(self):
+        """The knowledge matcher resolves every bank prompt correctly."""
+        for case in suite_cases():
+            matched, _score = DEFAULT_KNOWLEDGE.match(case.text)
+            assert matched == case.family, (case.case_id, matched)
+
+    def test_qhe_prompts_match_their_families(self):
+        from repro.evalsuite.qhe import qhe_cases
+
+        cases = qhe_cases()
+        assert len(cases) == 40
+        mismatches = [
+            (c.case_id, DEFAULT_KNOWLEDGE.match(c.text)[0])
+            for c in cases
+            if DEFAULT_KNOWLEDGE.match(c.text)[0] != c.family
+        ]
+        assert not mismatches

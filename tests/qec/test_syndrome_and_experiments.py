@@ -1,0 +1,218 @@
+"""Syndrome extraction (phenomenological + circuit-level) and experiments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QECError, TopologyError
+from repro.qec.codes.repetition import RepetitionCode
+from repro.qec.codes.surface import SurfaceCode
+from repro.qec.decoder_gen import GeneratedDecoder, generate_decoder
+from repro.qec.experiments import (
+    average_qubit_lifetime_gain,
+    logical_error_rate,
+    qec_suppression_factor,
+    threshold_sweep,
+)
+from repro.qec.matching import MWPMDecoder
+from repro.qec.syndrome import (
+    extraction_circuit,
+    run_extraction_on_tableau,
+    sample_memory,
+)
+from repro.quantum.topology import CouplingMap
+
+
+class TestPhenomenologicalSampling:
+    def test_noiseless_run_has_no_events(self, rng):
+        code = SurfaceCode(3)
+        history = sample_memory(code, 4, 0.0, 0.0, rng)
+        assert history.detection_events == []
+        assert not history.true_error.any()
+
+    def test_final_round_is_perfect(self, rng):
+        code = SurfaceCode(3)
+        history = sample_memory(code, 3, 0.1, 0.3, rng)
+        expected = code.syndrome(history.true_error, "x")
+        assert (history.syndromes[-1] == expected).all()
+
+    def test_detection_events_are_syndrome_diffs(self, rng):
+        code = SurfaceCode(3)
+        history = sample_memory(code, 3, 0.08, 0.08, rng)
+        rebuilt = set()
+        prev = np.zeros(code.num_z_checks, dtype=bool)
+        for t in range(history.rounds + 1):
+            for c in np.flatnonzero(history.syndromes[t] ^ prev):
+                rebuilt.add((t, int(c)))
+            prev = history.syndromes[t]
+        assert rebuilt == set(history.detection_events)
+
+    def test_parameter_validation(self, rng):
+        code = SurfaceCode(3)
+        with pytest.raises(QECError):
+            sample_memory(code, 0, 0.1, 0.1, rng)
+        with pytest.raises(QECError):
+            sample_memory(code, 1, 1.5, 0.1, rng)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_event_parity_is_even_or_boundary_matched(self, seed):
+        """Within one shot, detection events of the bulk pair up modulo the
+        boundary — i.e. decoding never encounters an unmatchable instance."""
+        code = SurfaceCode(3)
+        rng = np.random.default_rng(seed)
+        history = sample_memory(code, 3, 0.05, 0.05, rng)
+        decoder = MWPMDecoder(code, "x")
+        result = decoder.decode(history)  # raises DecodingError if unmatched
+        assert result is not None
+
+
+class TestCircuitLevelExtraction:
+    @pytest.mark.parametrize("error_type", ["x", "z"])
+    def test_matches_algebraic_syndrome(self, error_type):
+        code = SurfaceCode(3)
+        rng = np.random.default_rng(3)
+        for trial in range(8):
+            errors = list(np.flatnonzero(rng.random(9) < 0.3))
+            measured = run_extraction_on_tableau(
+                code, errors, error_type, rng=np.random.default_rng(trial)
+            )
+            bits = np.zeros(9, dtype=bool)
+            bits[errors] = True
+            assert (measured == code.syndrome(bits, error_type)).all()
+
+    def test_extraction_circuit_shape(self):
+        code = SurfaceCode(3)
+        qc = extraction_circuit(code, "x")
+        assert qc.num_qubits == 9 + 4
+        assert qc.count_ops()["measure"] == 4
+        assert qc.count_ops()["reset"] == 4
+
+    def test_bad_data_qubit_rejected(self):
+        with pytest.raises(QECError):
+            run_extraction_on_tableau(SurfaceCode(3), [100], "x")
+
+
+class TestExperiments:
+    def test_logical_error_rate_zero_noise(self):
+        code = SurfaceCode(3)
+        result = logical_error_rate(
+            code, MWPMDecoder(code, "x"), rounds=2, p_data=0.0, shots=20, seed=0
+        )
+        assert result.logical_error_rate == 0.0
+
+    def test_high_noise_fails_often(self):
+        code = SurfaceCode(3)
+        result = logical_error_rate(
+            code, MWPMDecoder(code, "x"), rounds=3, p_data=0.3, shots=60, seed=0
+        )
+        assert result.logical_error_rate > 0.2
+
+    def test_determinism(self):
+        code = SurfaceCode(3)
+        a = logical_error_rate(
+            code, MWPMDecoder(code, "x"), rounds=2, p_data=0.05, shots=40, seed=9
+        )
+        b = logical_error_rate(
+            code, MWPMDecoder(code, "x"), rounds=2, p_data=0.05, shots=40, seed=9
+        )
+        assert a.logical_failures == b.logical_failures
+
+    def test_per_round_rate_inversion(self):
+        code = SurfaceCode(3)
+        result = logical_error_rate(
+            code, MWPMDecoder(code, "x"), rounds=4, p_data=0.05, shots=100, seed=1
+        )
+        per_round = result.logical_error_per_round
+        assert 0 <= per_round <= result.logical_error_rate + 1e-9
+
+    def test_suppression_factor_below_threshold(self):
+        code = SurfaceCode(3)
+        factor = qec_suppression_factor(
+            code, MWPMDecoder(code, "x"), p_data=0.02, shots=300, seed=2
+        )
+        assert 0 < factor < 1.0
+
+    def test_suppression_factor_bounded_with_no_failures(self):
+        """Zero observed failures must give a Wilson-bounded, nonzero factor."""
+        code = SurfaceCode(3)
+        factor = qec_suppression_factor(
+            code, MWPMDecoder(code, "x"), p_data=0.001, shots=30, seed=2
+        )
+        assert 0 < factor <= 1.0
+
+    def test_lifetime_gain_inverse_of_suppression(self):
+        code = SurfaceCode(3)
+        factor = qec_suppression_factor(
+            code, MWPMDecoder(code, "x"), p_data=0.02, shots=300, seed=2
+        )
+        gain = average_qubit_lifetime_gain(
+            code, MWPMDecoder(code, "x"), p_data=0.02, shots=300, seed=2
+        )
+        assert gain == pytest.approx(1.0 / factor)
+
+    def test_threshold_sweep_shape(self):
+        sweep = threshold_sweep(
+            SurfaceCode, [3], [0.01, 0.1], shots=30, seed=3
+        )
+        assert set(sweep) == {3}
+        rates = [p_l for _, p_l in sweep[3]]
+        assert rates[1] >= rates[0]  # more noise, more failures
+
+    def test_shot_validation(self):
+        code = RepetitionCode(3)
+        with pytest.raises(QECError):
+            logical_error_rate(code, MWPMDecoder(code, "x"), 1, 0.1, shots=0)
+
+
+class TestDecoderGeneration:
+    def test_grid_device_succeeds_with_layout(self):
+        generated = generate_decoder(CouplingMap.grid(5, 5), distance=3)
+        assert isinstance(generated, GeneratedDecoder)
+        assert len(generated.data_layout) == 9
+        assert len(generated.ancilla_layout) == 8
+        assert not generated.simulated_lattice
+        # layout targets are distinct physical qubits
+        placed = list(generated.data_layout.values()) + list(
+            generated.ancilla_layout.values()
+        )
+        assert len(set(placed)) == len(placed)
+
+    def test_grid_without_ancillas_needs_smaller_grid(self):
+        generated = generate_decoder(
+            CouplingMap.grid(3, 3), distance=3, include_ancillas=False
+        )
+        assert len(generated.data_layout) == 9
+
+    def test_small_grid_rejected(self):
+        with pytest.raises(TopologyError, match="smaller"):
+            generate_decoder(CouplingMap.grid(3, 3), distance=3)
+
+    def test_heavy_hex_rejected_with_diagnosis(self):
+        with pytest.raises(TopologyError, match="topology-specific"):
+            generate_decoder(CouplingMap.brisbane(), distance=3)
+
+    def test_simulated_lattice_fallback(self):
+        generated = generate_decoder(
+            CouplingMap.brisbane(), distance=3, allow_simulated_lattice=True
+        )
+        assert generated.simulated_lattice
+        assert generated.data_layout == {}
+
+    def test_unknown_decoder_rejected(self):
+        with pytest.raises(TopologyError, match="unknown decoder"):
+            generate_decoder(CouplingMap.grid(5, 5), decoder="magic")
+
+    def test_unionfind_decoder_option(self):
+        from repro.qec.unionfind import UnionFindDecoder
+
+        generated = generate_decoder(
+            CouplingMap.grid(5, 5), distance=3, decoder="unionfind"
+        )
+        assert isinstance(generated.decoder_x, UnionFindDecoder)
+
+    def test_compatible_with_models_topology_specificity(self):
+        generated = generate_decoder(CouplingMap.grid(5, 5), distance=3)
+        assert generated.compatible_with(CouplingMap.grid(5, 5))
+        assert not generated.compatible_with(CouplingMap.grid(7, 7))

@@ -1,0 +1,266 @@
+"""QuantumCircuit builder: construction, validation, structure queries."""
+
+import pytest
+
+from repro.errors import CircuitError, QuantumDeprecationError
+from repro.quantum.circuit import (
+    ClassicalRegister,
+    Instruction,
+    QuantumCircuit,
+    QuantumRegister,
+)
+
+
+class TestConstruction:
+    def test_int_sizes(self):
+        qc = QuantumCircuit(3, 2)
+        assert qc.num_qubits == 3
+        assert qc.num_clbits == 2
+
+    def test_qubits_only(self):
+        qc = QuantumCircuit(4)
+        assert qc.num_qubits == 4
+        assert qc.num_clbits == 0
+
+    def test_registers(self):
+        qr = QuantumRegister(2, "qr")
+        cr = ClassicalRegister(2, "cr")
+        qc = QuantumCircuit(qr, cr)
+        assert qc.num_qubits == 2
+        assert qc.num_clbits == 2
+
+    def test_duplicate_register_name_rejected(self):
+        qc = QuantumCircuit(QuantumRegister(2, "a"))
+        with pytest.raises(CircuitError, match="duplicate"):
+            qc.add_register(QuantumRegister(3, "a"))
+
+    def test_bad_register_size(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(0, "q")
+
+    def test_bad_register_name(self):
+        with pytest.raises(CircuitError):
+            QuantumRegister(2, "2q")
+
+    def test_mixed_int_and_register_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(2, QuantumRegister(2, "q"))
+
+
+class TestValidation:
+    def test_out_of_range_qubit(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="out of range"):
+            qc.h(2)
+
+    def test_negative_qubit(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="out of range"):
+            qc.x(-1)
+
+    def test_duplicate_qubits(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="duplicate"):
+            qc.cx(0, 0)
+
+    def test_non_integer_qubit(self):
+        qc = QuantumCircuit(2)
+        with pytest.raises(CircuitError, match="int"):
+            qc.h(0.5)
+
+    def test_wrong_arity(self):
+        qc = QuantumCircuit(3)
+        with pytest.raises(CircuitError, match="acts on"):
+            qc.append("cx", [0])
+
+    def test_nonfinite_param(self):
+        qc = QuantumCircuit(1)
+        with pytest.raises(CircuitError, match="non-finite"):
+            qc.rx(float("nan"), 0)
+
+    def test_measure_length_mismatch(self):
+        qc = QuantumCircuit(2, 2)
+        with pytest.raises(CircuitError, match="maps"):
+            qc.measure([0, 1], [0])
+
+    def test_clbit_out_of_range(self):
+        qc = QuantumCircuit(2, 1)
+        with pytest.raises(CircuitError, match="clbit"):
+            qc.measure(0, 1)
+
+
+class TestBuilderMethods:
+    def test_every_gate_method_appends(self):
+        qc = QuantumCircuit(3, 3)
+        qc.id(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0).sx(0).sxdg(0)
+        qc.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0).u(0.1, 0.2, 0.3, 0)
+        qc.cx(0, 1).cy(0, 1).cz(0, 1).ch(0, 1).csx(0, 1).swap(0, 1).iswap(0, 1)
+        qc.crx(0.1, 0, 1).cry(0.2, 0, 1).crz(0.3, 0, 1).cp(0.4, 0, 1)
+        qc.rxx(0.1, 0, 1).ryy(0.2, 0, 1).rzz(0.3, 0, 1)
+        qc.ccx(0, 1, 2).ccz(0, 1, 2).cswap(0, 1, 2)
+        assert qc.size() == 33
+
+    def test_mcx(self):
+        qc = QuantumCircuit(4)
+        qc.mcx([0], 1)
+        qc.mcx([0, 1], 2)
+        assert [i.name for i in qc] == ["cx", "ccx"]
+        with pytest.raises(CircuitError):
+            qc.mcx([0, 1, 2], 3)
+
+    def test_measure_all_adds_register(self):
+        qc = QuantumCircuit(3)
+        qc.measure_all()
+        assert qc.num_clbits == 3
+        assert qc.count_ops()["measure"] == 3
+
+    def test_barrier_defaults_to_all(self):
+        qc = QuantumCircuit(3)
+        qc.barrier()
+        assert qc.instructions[0].qubits == (0, 1, 2)
+
+    def test_condition(self):
+        qc = QuantumCircuit(2, 2)
+        qc.append("x", [1], condition=(0, 1))
+        assert qc.instructions[0].condition == (0, 1)
+
+
+class TestStructure:
+    def test_compose_identity_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.h(0)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(2, 2)
+        outer.compose(inner)
+        assert [i.name for i in outer] == ["h", "cx"]
+
+    def test_compose_with_mapping(self):
+        inner = QuantumCircuit(2)
+        inner.cx(0, 1)
+        outer = QuantumCircuit(3)
+        outer.compose(inner, qubits=[2, 0])
+        assert outer.instructions[0].qubits == (2, 0)
+
+    def test_compose_wrong_map_size(self):
+        inner = QuantumCircuit(2)
+        outer = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            outer.compose(inner, qubits=[0])
+
+    def test_inverse_reverses_and_inverts(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.s(1)
+        qc.cx(0, 1)
+        inv = qc.inverse()
+        assert [i.name for i in inv] == ["cx", "sdg", "h"]
+
+    def test_inverse_rejects_measurement(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        with pytest.raises(CircuitError):
+            qc.inverse()
+
+    def test_power(self):
+        qc = QuantumCircuit(1)
+        qc.t(0)
+        assert qc.power(3).size() == 3
+        assert qc.power(-2).count_ops() == {"tdg": 2}
+        assert qc.power(0).size() == 0
+
+    def test_depth(self):
+        qc = QuantumCircuit(3)
+        qc.h(0)
+        qc.h(1)  # parallel with the first
+        qc.cx(0, 1)
+        qc.x(2)  # parallel with everything above
+        assert qc.depth() == 2
+
+    def test_depth_counts_measure_wires(self):
+        qc = QuantumCircuit(1, 1)
+        qc.h(0)
+        qc.measure(0, 0)
+        assert qc.depth() == 2
+
+    def test_size_excludes_barriers(self):
+        qc = QuantumCircuit(2)
+        qc.h(0)
+        qc.barrier()
+        assert qc.size() == 1
+        assert len(qc) == 2
+
+    def test_count_ops_sorted(self):
+        qc = QuantumCircuit(2)
+        qc.x(0)
+        qc.h(1)
+        qc.x(1)
+        assert qc.count_ops() == {"h": 1, "x": 2}
+
+    def test_copy_is_independent(self):
+        qc = QuantumCircuit(1)
+        qc.h(0)
+        other = qc.copy()
+        other.x(0)
+        assert qc.size() == 1
+        assert other.size() == 2
+
+    def test_remove_final_measurements(self):
+        qc = QuantumCircuit(2, 2)
+        qc.h(0)
+        qc.measure([0, 1], [0, 1])
+        trimmed = qc.remove_final_measurements()
+        assert trimmed.count_ops() == {"h": 1}
+
+    def test_remove_all_measurements_keeps_interior_gates(self):
+        qc = QuantumCircuit(1, 1)
+        qc.measure(0, 0)
+        qc.x(0)
+        stripped = qc.remove_all_measurements()
+        assert [i.name for i in stripped] == ["x"]
+
+    def test_measured_qubit_to_clbit_last_wins(self):
+        qc = QuantumCircuit(2, 2)
+        qc.measure(0, 0)
+        qc.measure(0, 1)
+        assert qc.measured_qubit_to_clbit() == {0: 1}
+
+    def test_equality(self):
+        a = QuantumCircuit(1)
+        a.h(0)
+        b = QuantumCircuit(1)
+        b.h(0)
+        assert a == b
+        b.x(0)
+        assert a != b
+
+
+class TestDeprecatedMethods:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda qc: qc.u1(0.1, 0),
+            lambda qc: qc.u2(0.1, 0.2, 0),
+            lambda qc: qc.u3(0.1, 0.2, 0.3, 0),
+            lambda qc: qc.cu1(0.1, 0, 1),
+            lambda qc: qc.iden(0),
+            lambda qc: qc.toffoli(0, 1, 2),
+            lambda qc: qc.fredkin(0, 1, 2),
+            lambda qc: qc.cnot(0, 1),
+            lambda qc: qc.snapshot("label"),
+        ],
+    )
+    def test_removed_methods_raise_with_hint(self, call):
+        qc = QuantumCircuit(3, 3)
+        with pytest.raises(QuantumDeprecationError, match="Migration"):
+            call(qc)
+
+
+class TestInstruction:
+    def test_repr_contains_name_and_qubits(self):
+        inst = Instruction("cx", (0, 1))
+        assert "cx" in repr(inst) and "[0, 1]" in repr(inst)
+
+    def test_inverse_of_measure_rejected(self):
+        inst = Instruction("measure", (0,), (0,))
+        with pytest.raises(CircuitError):
+            inst.inverse()

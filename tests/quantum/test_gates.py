@@ -1,0 +1,112 @@
+"""Gate registry: matrices, unitarity, inverses, aliases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GateError
+from repro.quantum import gates as G
+
+ANGLES = st.floats(min_value=-6.0, max_value=6.0, allow_nan=False)
+
+ALL_NAMES = sorted({spec.name for spec in G.GATE_SPECS.values()})
+
+
+def test_registry_contains_standard_gates():
+    for name in ("x", "y", "z", "h", "s", "t", "cx", "cz", "swap", "ccx", "u"):
+        assert name in G.GATE_SPECS
+
+
+def test_aliases_resolve_to_same_spec():
+    assert G.get_spec("cnot") is G.get_spec("cx")
+    assert G.get_spec("phase") is G.get_spec("p")
+    assert G.get_spec("cphase") is G.get_spec("cp")
+
+
+def test_case_insensitive_lookup():
+    assert G.get_spec("CX").name == "cx"
+    assert G.get_spec("H").name == "h"
+
+
+def test_unknown_gate_raises():
+    with pytest.raises(GateError, match="unknown gate"):
+        G.get_spec("frobnicate")
+
+
+def test_wrong_param_count_raises():
+    with pytest.raises(GateError, match="parameter"):
+        G.gate_matrix("rx", ())
+    with pytest.raises(GateError, match="parameter"):
+        G.gate_matrix("h", (1.0,))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_every_gate_matrix_is_unitary(name):
+    spec = G.GATE_SPECS[name]
+    params = tuple(0.37 * (i + 1) for i in range(spec.num_params))
+    mat = spec.matrix(params)
+    dim = 2**spec.num_qubits
+    assert mat.shape == (dim, dim)
+    assert np.allclose(mat @ mat.conj().T, np.eye(dim), atol=1e-10)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_inverse_params_gives_actual_inverse(name):
+    spec = G.GATE_SPECS[name]
+    if name == "iswap":
+        with pytest.raises(GateError):
+            G.inverse_params(name, ())
+        return
+    params = tuple(0.53 * (i + 1) for i in range(spec.num_params))
+    inv_name, inv_params = G.inverse_params(name, params)
+    product = G.gate_matrix(inv_name, inv_params) @ spec.matrix(params)
+    dim = 2**spec.num_qubits
+    # Inverse up to global phase.
+    phase = product[0, 0]
+    assert abs(abs(phase) - 1) < 1e-9
+    assert np.allclose(product, phase * np.eye(dim), atol=1e-9)
+
+
+@given(theta=ANGLES)
+@settings(max_examples=50, deadline=None)
+def test_rotation_composition(theta):
+    half = G.rx_matrix(theta / 2)
+    assert np.allclose(half @ half, G.rx_matrix(theta), atol=1e-9)
+
+
+@given(theta=ANGLES, phi=ANGLES, lam=ANGLES)
+@settings(max_examples=50, deadline=None)
+def test_u_matrix_unitary(theta, phi, lam):
+    mat = G.u_matrix(theta, phi, lam)
+    assert np.allclose(mat @ mat.conj().T, np.eye(2), atol=1e-9)
+
+
+def test_controlled_construction_matches_cx():
+    assert np.allclose(G.controlled(G.X_MATRIX), G.CX_MATRIX)
+
+
+def test_ccx_flips_only_when_both_controls_set():
+    mat = G.CCX_MATRIX
+    # |110> in (c1, c2, t) little-endian = index 3; flips t -> index 7.
+    assert mat[7, 3] == 1 and mat[3, 7] == 1
+    # |010> (only c2 set) stays put.
+    assert mat[2, 2] == 1
+
+
+def test_cswap_swaps_targets_only_with_control():
+    mat = G.CSWAP_MATRIX
+    assert mat[3, 5] == 1 and mat[5, 3] == 1  # c=1: |a=1,b=0> <-> |a=0,b=1>
+    assert mat[2, 2] == 1  # c=0: untouched
+
+
+def test_rzz_diagonal():
+    mat = G.rzz_matrix(0.7)
+    assert np.allclose(mat, np.diag(np.diag(mat)))
+
+
+def test_hermitian_pairs_are_mutual():
+    for spec in set(G.GATE_SPECS.values()):
+        if spec.hermitian_pair:
+            other = G.get_spec(spec.hermitian_pair)
+            assert other.hermitian_pair == spec.name

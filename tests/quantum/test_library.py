@@ -1,0 +1,193 @@
+"""Algorithm library semantics: each circuit does what its name claims."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.quantum import library as lib
+from repro.quantum.statevector import Statevector
+
+
+def _counts(simulator, qc, shots=2000, seed=0):
+    return simulator.run(qc, shots=shots, seed=seed).result().get_counts()
+
+
+class TestEntangledStates:
+    def test_bell_correlations(self, simulator):
+        counts = _counts(simulator, lib.bell_pair(measure=True))
+        assert set(counts) == {"00", "11"}
+        assert abs(counts["00"] - counts["11"]) < 300
+
+    def test_ghz_sizes(self, simulator):
+        for n in (2, 3, 5):
+            counts = _counts(simulator, lib.ghz_state(n, measure=True))
+            assert set(counts) == {"0" * n, "1" * n}
+
+    def test_ghz_requires_two_qubits(self):
+        with pytest.raises(CircuitError):
+            lib.ghz_state(1)
+
+
+class TestQFT:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_matches_dft_matrix(self, n):
+        dim = 2**n
+        dft = np.array(
+            [
+                [np.exp(2j * np.pi * k * x / dim) for x in range(dim)]
+                for k in range(dim)
+            ]
+        ) / math.sqrt(dim)
+        qc = lib.qft(n)
+        for x in (0, 1, dim // 2, dim - 1):
+            init = np.zeros(dim, dtype=complex)
+            init[x] = 1.0
+            out = Statevector(init).evolve(qc)
+            assert abs(np.vdot(dft[:, x], out.data)) > 1 - 1e-9
+
+    def test_inverse_qft_undoes_qft(self):
+        qc = lib.qft(3)
+        qc.compose(lib.inverse_qft(3))
+        sv = Statevector.from_circuit(qc)
+        assert sv.probabilities_dict() == pytest.approx({"000": 1.0})
+
+    def test_no_swaps_variant_differs(self):
+        with_swaps = Statevector.from_label("001").evolve(lib.qft(3, do_swaps=True))
+        without = Statevector.from_label("001").evolve(lib.qft(3, do_swaps=False))
+        assert not with_swaps.equiv(without)
+
+
+class TestOracleAlgorithms:
+    def test_dj_constant0(self, simulator):
+        counts = _counts(simulator, lib.deutsch_jozsa(3, "constant0"))
+        assert counts == {"000": 2000}
+
+    def test_dj_constant1(self, simulator):
+        counts = _counts(simulator, lib.deutsch_jozsa(3, "constant1"))
+        assert counts == {"000": 2000}
+
+    def test_dj_balanced_never_zero(self, simulator):
+        counts = _counts(simulator, lib.deutsch_jozsa(3, "balanced"))
+        assert "000" not in counts
+
+    def test_dj_balanced_patterns(self, simulator):
+        for pattern in (0b001, 0b101, 0b110):
+            counts = _counts(
+                simulator, lib.deutsch_jozsa(3, "balanced", pattern), shots=200
+            )
+            assert "000" not in counts
+
+    def test_dj_bad_kind(self):
+        with pytest.raises(CircuitError):
+            lib.deutsch_jozsa(3, "sometimes")
+
+    def test_dj_bad_pattern(self):
+        with pytest.raises(CircuitError):
+            lib.dj_oracle(3, "balanced", pattern=8)
+
+    @pytest.mark.parametrize("secret", ["1", "101", "1101", "00110"])
+    def test_bernstein_vazirani_recovers_secret(self, simulator, secret):
+        counts = _counts(simulator, lib.bernstein_vazirani(secret), shots=300)
+        assert counts == {secret: 300}
+
+    def test_bv_invalid_secret(self):
+        with pytest.raises(CircuitError):
+            lib.bernstein_vazirani("10a")
+
+
+class TestGrover:
+    @pytest.mark.parametrize("marked", ["11", "01"])
+    def test_two_qubits_deterministic(self, simulator, marked):
+        counts = _counts(simulator, lib.grover(2, [marked]))
+        assert counts == {marked: 2000}
+
+    @pytest.mark.parametrize("marked", ["101", "111", "000"])
+    def test_three_qubits_dominant(self, simulator, marked):
+        counts = _counts(simulator, lib.grover(3, [marked]))
+        assert counts.get(marked, 0) / 2000 > 0.85
+
+    def test_multiple_marked(self, simulator):
+        counts = _counts(simulator, lib.grover(3, ["101", "010"]))
+        hit = (counts.get("101", 0) + counts.get("010", 0)) / 2000
+        assert hit > 0.85
+
+    def test_no_marked_rejected(self):
+        with pytest.raises(CircuitError):
+            lib.grover(2, [])
+
+    def test_invalid_marked_state(self):
+        with pytest.raises(CircuitError):
+            lib.grover(2, ["2x"])
+
+
+class TestProtocols:
+    @pytest.mark.parametrize("theta", [0.0, 1.0, 2.5])
+    def test_teleportation_preserves_distribution(self, simulator, theta):
+        qc = lib.teleportation(theta, 0.3, 0.0)
+        counts = _counts(simulator, qc, shots=20_000, seed=3)
+        p1 = sum(v for k, v in counts.items() if k[0] == "1") / 20_000
+        assert p1 == pytest.approx(math.sin(theta / 2) ** 2, abs=0.02)
+
+    @pytest.mark.parametrize("bits", ["00", "01", "10", "11"])
+    def test_superdense_transmits_bits(self, simulator, bits):
+        counts = _counts(simulator, lib.superdense_coding(bits), shots=200)
+        assert counts == {bits: 200}
+
+    def test_superdense_invalid_bits(self):
+        with pytest.raises(CircuitError):
+            lib.superdense_coding("102")
+
+
+class TestPhaseEstimation:
+    @pytest.mark.parametrize(
+        "phase,expected", [(0.25, "010"), (0.375, "011"), (0.5, "100")]
+    )
+    def test_exact_phases(self, simulator, phase, expected):
+        counts = _counts(simulator, lib.phase_estimation(phase, 3))
+        assert max(counts, key=counts.get) == expected
+
+    def test_inexact_phase_concentrates(self, simulator):
+        counts = _counts(simulator, lib.phase_estimation(0.3, 3), shots=4000)
+        # 0.3 * 8 = 2.4: mass concentrates on 010 and 011.
+        top = sorted(counts.items(), key=lambda kv: -kv[1])[:2]
+        assert {k for k, _ in top} == {"010", "011"}
+
+    def test_needs_counting_qubits(self):
+        with pytest.raises(CircuitError):
+            lib.phase_estimation(0.25, 0)
+
+
+class TestWalkAndAnnealing:
+    def test_walk_runs_and_spreads(self, simulator):
+        counts = _counts(simulator, lib.quantum_walk_cycle(2), shots=1000, seed=4)
+        assert sum(counts.values()) == 1000
+
+    def test_walk_needs_steps(self):
+        with pytest.raises(CircuitError):
+            lib.quantum_walk_cycle(0)
+
+    def test_annealing_finds_ising_ground_states(self, simulator):
+        # Ferromagnetic ZZ chain at slow-ish schedule: aligned states dominate.
+        qc = lib.tfim_annealing(3, steps=8, total_time=6.0)
+        counts = _counts(simulator, qc, shots=4000, seed=5)
+        aligned = (counts.get("000", 0) + counts.get("111", 0)) / 4000
+        assert aligned > 0.4
+
+    def test_annealing_validation(self):
+        with pytest.raises(CircuitError):
+            lib.tfim_annealing(1)
+        with pytest.raises(CircuitError):
+            lib.tfim_annealing(3, steps=0)
+
+
+class TestRandomCircuit:
+    def test_deterministic_by_seed(self):
+        a = lib.random_circuit(3, 5, seed=9)
+        b = lib.random_circuit(3, 5, seed=9)
+        assert a == b
+
+    def test_measure_flag(self):
+        qc = lib.random_circuit(2, 3, seed=1, measure=True)
+        assert qc.count_ops().get("measure") == 2

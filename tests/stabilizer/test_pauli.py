@@ -1,0 +1,114 @@
+"""PauliString algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QECError
+from repro.stabilizer.pauli import PauliString, syndrome_of
+
+PAULI_CHARS = st.sampled_from("IXYZ")
+pauli_strings = st.lists(PAULI_CHARS, min_size=1, max_size=6).map(
+    lambda chars: PauliString(chars)
+)
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = PauliString.identity(3)
+        assert p.weight == 0
+        assert p.to_label() == "III"
+
+    def test_from_label_reverses_order(self):
+        p = PauliString.from_label("XZ")  # X on qubit 1, Z on qubit 0
+        assert p.paulis == ("Z", "X")
+
+    def test_from_label_phases(self):
+        assert PauliString.from_label("-X").phase == -1
+        assert PauliString.from_label("iZ").phase == 1j
+        assert PauliString.from_label("-iY").phase == -1j
+        assert PauliString.from_label("+X").phase == 1
+
+    def test_single(self):
+        p = PauliString.single(4, 2, "y")
+        assert p.paulis == ("I", "I", "Y", "I")
+
+    def test_single_out_of_range(self):
+        with pytest.raises(QECError):
+            PauliString.single(2, 5, "X")
+
+    def test_from_sparse(self):
+        p = PauliString.from_sparse(4, [(0, "X"), (3, "Z")])
+        assert p.support() == (0, 3)
+
+    def test_from_sparse_duplicate(self):
+        with pytest.raises(QECError):
+            PauliString.from_sparse(3, [(0, "X"), (0, "Z")])
+
+    def test_invalid_character(self):
+        with pytest.raises(QECError):
+            PauliString(["Q"])
+
+
+class TestAlgebra:
+    def test_multiplication_table(self):
+        x = PauliString(["X"])
+        y = PauliString(["Y"])
+        z = PauliString(["Z"])
+        assert (x * y).to_label() == "iZ"
+        assert (y * x).to_label() == "-iZ"
+        assert (x * x).to_label() == "I"
+        assert (z * x).to_label() == "iY"
+
+    def test_commutation(self):
+        assert PauliString.from_label("XX").commutes_with(PauliString.from_label("ZZ"))
+        assert not PauliString.from_label("XI").commutes_with(
+            PauliString.from_label("ZI")
+        )
+
+    def test_size_mismatch(self):
+        with pytest.raises(QECError):
+            PauliString(["X"]) * PauliString(["X", "X"])
+
+    def test_tensor(self):
+        p = PauliString(["X"]).tensor(PauliString(["Z"]))
+        assert p.paulis == ("X", "Z")
+
+    def test_x_z_bits(self):
+        p = PauliString(["X", "Y", "Z", "I"])
+        assert p.x_bits().tolist() == [True, True, False, False]
+        assert p.z_bits().tolist() == [False, True, True, False]
+
+    @given(a=pauli_strings, b=pauli_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_commutation_is_symmetric(self, a, b):
+        if a.num_qubits != b.num_qubits:
+            return
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(a=pauli_strings)
+    @settings(max_examples=30, deadline=None)
+    def test_self_product_is_identity(self, a):
+        product = a * a
+        assert all(p == "I" for p in product.paulis)
+
+    @given(a=pauli_strings, b=pauli_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_product_phase_consistency(self, a, b):
+        """(ab)(ba) = a b b a = a a (phase cancels) -> identity with +1."""
+        if a.num_qubits != b.num_qubits:
+            return
+        product = (a * b) * (b * a)
+        assert all(p == "I" for p in product.paulis)
+        assert product.phase == a.phase**2 * b.phase**2
+
+
+class TestSyndrome:
+    def test_syndrome_of(self):
+        checks = [PauliString.from_label("ZZI"), PauliString.from_label("IZZ")]
+        error = PauliString.single(3, 0, "X")  # qubit 0 = rightmost label char
+        assert syndrome_of(error, checks) == (0, 1)
+
+    def test_label_roundtrip(self):
+        for label in ("XIZ", "-YY", "iIX"):
+            assert PauliString.from_label(label).to_label() == label

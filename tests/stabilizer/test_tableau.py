@@ -1,0 +1,148 @@
+"""CHP tableau simulator, cross-checked against the dense simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.quantum.backend import LocalSimulator
+from repro.quantum.circuit import QuantumCircuit
+from repro.stabilizer.pauli import PauliString
+from repro.stabilizer.tableau import StabilizerTableau
+
+CLIFFORD_1Q = ["h", "s", "sdg", "x", "y", "z"]
+CLIFFORD_2Q = ["cx", "cz", "swap"]
+
+
+def random_clifford_circuit(n, depth, seed):
+    rng = np.random.default_rng(seed)
+    qc = QuantumCircuit(n, n)
+    for _ in range(depth):
+        if rng.random() < 0.6 or n < 2:
+            qc.append(str(rng.choice(CLIFFORD_1Q)), [int(rng.integers(n))])
+        else:
+            a, b = rng.choice(n, size=2, replace=False)
+            qc.append(str(rng.choice(CLIFFORD_2Q)), [int(a), int(b)])
+    qc.measure(list(range(n)), list(range(n)))
+    return qc
+
+
+class TestBasics:
+    def test_initial_state_measures_zero(self):
+        t = StabilizerTableau(3, rng=np.random.default_rng(0))
+        assert [t.measure(q) for q in range(3)] == [0, 0, 0]
+
+    def test_x_flips(self):
+        t = StabilizerTableau(2, rng=np.random.default_rng(0))
+        t.x(1)
+        assert t.measure(0) == 0
+        assert t.measure(1) == 1
+
+    def test_h_gives_random_measure_then_collapses(self):
+        outcomes = set()
+        for seed in range(20):
+            t = StabilizerTableau(1, rng=np.random.default_rng(seed))
+            t.h(0)
+            first = t.measure(0)
+            outcomes.add(first)
+            # Repeated measurement is now deterministic.
+            assert t.measure(0) == first
+        assert outcomes == {0, 1}
+
+    def test_ghz_correlations(self):
+        for seed in range(30):
+            t = StabilizerTableau(3, rng=np.random.default_rng(seed))
+            t.h(0)
+            t.cx(0, 1)
+            t.cx(1, 2)
+            bits = [t.measure(q) for q in range(3)]
+            assert len(set(bits)) == 1
+
+    def test_reset(self):
+        t = StabilizerTableau(1, rng=np.random.default_rng(3))
+        t.x(0)
+        t.reset(0)
+        assert t.measure(0) == 0
+
+    def test_swap(self):
+        t = StabilizerTableau(2, rng=np.random.default_rng(0))
+        t.x(0)
+        t.swap(0, 1)
+        assert t.measure(0) == 0
+        assert t.measure(1) == 1
+
+    def test_needs_a_qubit(self):
+        with pytest.raises(SimulationError):
+            StabilizerTableau(0)
+
+
+class TestAgainstDenseSimulator:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_clifford_distributions_match(self, seed):
+        n, depth, shots = 3, 14, 2000
+        qc = random_clifford_circuit(n, depth, seed)
+        dense = LocalSimulator().run(qc, shots=shots, seed=99).result().get_counts()
+        tableau_counts: dict[str, int] = {}
+        for s in range(shots):
+            t = StabilizerTableau(n, rng=np.random.default_rng(s * 31 + 7))
+            bits = t.apply_circuit(qc)
+            key = "".join(str(b) for b in reversed(bits))
+            tableau_counts[key] = tableau_counts.get(key, 0) + 1
+        keys = set(dense) | set(tableau_counts)
+        tvd = 0.5 * sum(
+            abs(dense.get(k, 0) - tableau_counts.get(k, 0)) / shots for k in keys
+        )
+        assert tvd < 0.06, (seed, dense, tableau_counts)
+
+    def test_non_clifford_rejected(self):
+        t = StabilizerTableau(1)
+        qc = QuantumCircuit(1)
+        qc.t(0)
+        with pytest.raises(SimulationError, match="Clifford"):
+            t.apply_circuit(qc)
+
+
+class TestObservables:
+    def test_bell_stabilizers(self):
+        t = StabilizerTableau(2, rng=np.random.default_rng(0))
+        t.h(0)
+        t.cx(0, 1)
+        assert t.expectation_sign(PauliString.from_label("XX")) == 1
+        assert t.expectation_sign(PauliString.from_label("ZZ")) == 1
+        assert t.expectation_sign(PauliString.from_label("YY")) == -1
+        assert t.expectation_sign(PauliString.from_label("ZI")) is None
+
+    def test_expectation_is_nondestructive(self):
+        t = StabilizerTableau(2, rng=np.random.default_rng(1))
+        t.h(0)
+        t.cx(0, 1)
+        t.expectation_sign(PauliString.from_label("ZZ"))
+        # The state still has deterministic ZZ after probing.
+        assert t.measure_pauli(PauliString.from_label("ZZ")) == 0
+
+    def test_measure_pauli_matches_sign(self):
+        t = StabilizerTableau(2, rng=np.random.default_rng(2))
+        t.x(0)
+        # Z on qubit 0 has value -1 -> outcome bit 1.
+        assert t.measure_pauli(PauliString.from_label("IZ")) == 1
+
+    def test_stabilizer_generators_of_zero_state(self):
+        t = StabilizerTableau(2)
+        labels = {g.to_label() for g in t.stabilizer_generators()}
+        assert labels == {"IZ", "ZI"}
+
+    def test_generators_after_h(self):
+        t = StabilizerTableau(1)
+        t.h(0)
+        assert t.stabilizer_generators()[0].to_label() == "X"
+
+    def test_apply_pauli_flips_sign(self):
+        t = StabilizerTableau(1)
+        t.apply_pauli(PauliString.from_label("X"))
+        assert t.measure(0) == 1
+
+    def test_copy_independent(self):
+        t = StabilizerTableau(1, rng=np.random.default_rng(0))
+        c = t.copy()
+        c.x(0)
+        assert t.measure(0) == 0
+        assert c.measure(0) == 1

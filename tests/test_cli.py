@@ -1,0 +1,41 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import ARMS, EXPERIMENTS, main
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment():
+    assert main(["run", "figure99"]) == 2
+
+
+def test_unknown_arm():
+    assert main(["eval", "vibes"]) == 2
+
+
+def test_eval_arm_runs(capsys):
+    assert main(["eval", "ft", "--samples", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Accuracy" in out and "ft" in out
+
+
+def test_demo_runs(capsys):
+    assert main(["demo", "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "generated program" in out
+
+
+def test_arms_cover_figure3():
+    assert set(ARMS) == {"base", "ft", "rag", "cot", "scot", "mp3"}
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

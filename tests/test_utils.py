@@ -1,0 +1,113 @@
+"""Utilities: deterministic RNG derivation, stats, ASCII tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import derive_rng, derive_seed, stable_hash
+from repro.utils.stats import (
+    binomial_confidence_interval,
+    mean,
+    total_variation_distance,
+)
+from repro.utils.tables import AsciiTable, format_histogram
+
+
+class TestRng:
+    def test_stable_hash_is_stable(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_scope_separation(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_no_concatenation_collision(self):
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_derive_rng_reproducible(self):
+        a = derive_rng(7, "x").random(3)
+        b = derive_rng(7, "x").random(3)
+        assert (a == b).all()
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_seed_in_64bit_range(self, seed):
+        assert 0 <= derive_seed(seed, "scope") < 2**64
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_wilson_interval_contains_estimate(self):
+        low, high = binomial_confidence_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_wilson_edge_cases(self):
+        assert binomial_confidence_interval(0, 0) == (0.0, 0.0)
+        low, high = binomial_confidence_interval(0, 10)
+        assert low == 0.0 and high > 0.0
+        low, high = binomial_confidence_interval(10, 10)
+        assert high == 1.0 and low < 1.0
+
+    def test_tvd_identical(self):
+        assert total_variation_distance({"a": 1}, {"a": 2}) == 0.0
+
+    def test_tvd_disjoint(self):
+        assert total_variation_distance({"a": 1}, {"b": 1}) == 1.0
+
+    def test_tvd_normalises_counts(self):
+        assert total_variation_distance(
+            {"0": 50, "1": 50}, {"0": 5000, "1": 5000}
+        ) == pytest.approx(0.0)
+
+    def test_tvd_empty_is_max(self):
+        assert total_variation_distance({}, {"a": 1}) == 1.0
+
+    @given(
+        p=st.dictionaries(st.sampled_from("abcd"), st.integers(1, 100), min_size=1),
+        q=st.dictionaries(st.sampled_from("abcd"), st.integers(1, 100), min_size=1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tvd_is_metric_like(self, p, q):
+        d = total_variation_distance(p, q)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(total_variation_distance(q, p))
+
+
+class TestTables:
+    def test_render_aligns(self):
+        table = AsciiTable(["Name", "Value"], title="T")
+        table.add_row(["a", 1])
+        table.add_row(["longer-name", 22])
+        rendered = table.render()
+        assert "T" in rendered
+        lines = rendered.splitlines()
+        assert len({len(l) for l in lines[2:]}) <= 2  # header+rows aligned
+
+    def test_row_width_checked(self):
+        table = AsciiTable(["A"])
+        with pytest.raises(ValueError):
+            table.add_row(["x", "y"])
+
+    def test_rows_copy(self):
+        table = AsciiTable(["A"])
+        table.add_row(["x"])
+        rows = table.rows
+        rows[0][0] = "mutated"
+        assert table.rows[0][0] == "x"
+
+    def test_histogram(self):
+        out = format_histogram({"00": 75, "11": 25}, width=20, title="H")
+        assert "H" in out
+        assert "75.00%" in out
+        assert out.count("#") > 20  # bars drawn
+
+    def test_histogram_empty(self):
+        assert "empty" in format_histogram({})
+
+    def test_histogram_sort_by_value(self):
+        out = format_histogram({"a": 1, "b": 9}, sort_by_key=False)
+        assert out.splitlines()[0].strip().startswith("b")
