@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.agents import QECAgent
 from repro.qec.syndrome import sample_memory
-from repro.quantum import FakeBrisbane, transpile
+from repro.quantum import default_service, get_backend, transpile
 from repro.quantum.library import deutsch_jozsa
 from repro.utils.tables import format_histogram
 
@@ -21,13 +21,15 @@ SEED = 9
 
 
 def main() -> None:
-    backend = FakeBrisbane()
+    backend = get_backend("fake_brisbane")
+    service = default_service()
     circuit = deutsch_jozsa(3, "constant0")
     transpiled = transpile(circuit, backend=backend)
     print(f"DJ constant oracle: {circuit.size()} ops -> "
           f"{transpiled.size()} after transpilation for {backend.name}")
 
-    noisy = backend.run(transpiled, shots=SHOTS, seed=SEED).result().get_counts()
+    noisy_job = service.submit(transpiled, backend=backend, shots=SHOTS, seed=SEED)
+    noisy = noisy_job.result().get_counts()
     print()
     print(format_histogram(noisy, title="(b) noisy Brisbane run — expect |000>"))
 
@@ -55,7 +57,12 @@ def main() -> None:
     )
 
     corrected = (
-        application.corrected_backend.run(transpiled, shots=SHOTS, seed=SEED)
+        service.submit(
+            transpiled,
+            backend=application.corrected_backend,
+            shots=SHOTS,
+            seed=SEED,
+        )
         .result()
         .get_counts()
     )

@@ -9,7 +9,7 @@ Run:  python examples/quickstart.py
 
 from repro.agents import Orchestrator, QECAgent
 from repro.llm import make_model, synthesize
-from repro.quantum import FakeBrisbane, LocalSimulator, QuantumCircuit, transpile
+from repro.quantum import QuantumCircuit, default_service, get_backend, transpile
 from repro.utils.tables import format_histogram
 
 
@@ -20,13 +20,18 @@ def layer_1_quantum_sdk() -> None:
     qc.h(0)
     qc.cx(0, 1)
     qc.measure([0, 1], [0, 1])
-    counts = LocalSimulator().run(qc, shots=1000, seed=7).result().get_counts()
-    print(format_histogram(counts, title="Bell pair on the ideal simulator"))
+    service = default_service()
+    job = service.submit(qc, backend=get_backend("ideal"), shots=1000, seed=7)
+    print(format_histogram(
+        job.result().get_counts(), title="Bell pair on the ideal simulator"
+    ))
 
-    backend = FakeBrisbane()
+    backend = get_backend("fake_brisbane")
     tqc = transpile(qc, backend=backend)
-    noisy = backend.run(tqc, shots=1000, seed=7).result().get_counts()
-    print(format_histogram(noisy, title="Same circuit on noisy FakeBrisbane"))
+    noisy = service.submit(tqc, backend=backend, shots=1000, seed=7)
+    print(format_histogram(
+        noisy.result().get_counts(), title="Same circuit on noisy FakeBrisbane"
+    ))
 
 
 def layer_2_multi_agent() -> None:
@@ -53,7 +58,7 @@ def layer_2_multi_agent() -> None:
 def layer_3_qec() -> None:
     print("=" * 70)
     print("Layer 3: the QEC agent (decoder generation + corrected execution)")
-    backend = FakeBrisbane()
+    backend = get_backend("fake_brisbane")
     agent = QECAgent(distance=3, shots=200)
     application = agent.apply(backend, allow_simulated_lattice=True)
     print(

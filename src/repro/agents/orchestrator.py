@@ -24,6 +24,7 @@ from repro.errors import TopologyError
 from repro.llm.model import SimulatedCodeLLM, make_model
 from repro.prompts.generator import ScaffoldGenerator
 from repro.quantum.backend import Backend
+from repro.quantum.execution import resolve_backend
 from repro.rag.retriever import Retriever
 
 
@@ -81,15 +82,19 @@ class Orchestrator:
         reference_code: str | None = None,
         checker=None,
         seed: int = 0,
-        target_backend: Backend | None = None,
+        target_backend: Backend | str | None = None,
         apply_qec: bool = False,
     ) -> QuantumProgramArtifact:
         """Full pipeline for one request.
 
-        ``apply_qec`` requires a ``target_backend`` with a coupling map and a
-        noise model; QEC failures on unsupported topologies are recorded in
-        the log, not raised (the developer still gets their program).
+        ``target_backend`` accepts a :class:`Backend` instance or a registry
+        name/alias (``"fake_brisbane"``, ``"brisbane"``, ...).  ``apply_qec``
+        requires a target with a coupling map and a noise model; QEC failures
+        on unsupported topologies are recorded in the log, not raised (the
+        developer still gets their program).
         """
+        if isinstance(target_backend, str):
+            target_backend = resolve_backend(target_backend)
         log = EpisodeLog()
         request = GenerationRequest(
             prompt_text=prompt, params=params or {}, family_hint=family_hint,

@@ -28,6 +28,7 @@ from repro.qec.decoder_gen import GeneratedDecoder, generate_decoder
 from repro.qec.experiments import qec_suppression_factor
 from repro.quantum.backend import Backend, NoisySimulator
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.execution import default_service, resolve_backend
 
 
 @dataclass
@@ -69,16 +70,21 @@ class QECAgent(Agent):
 
     def apply(
         self,
-        backend: Backend,
+        backend: Backend | str,
         allow_simulated_lattice: bool = True,
     ) -> QECApplication:
         """Generate a decoder for the backend's device and derive the
         QEC-corrected backend.
 
+        ``backend`` may be a :class:`Backend` instance or a registry name
+        (``"fake_brisbane"``, an alias, ...) resolved via
+        :func:`repro.quantum.execution.get_backend`.
+
         Raises:
             TopologyError: when the device cannot host the surface code and
                 the simulated-lattice fallback is disabled.
         """
+        backend = resolve_backend(backend)
         if backend.coupling_map is None:
             raise TopologyError(
                 f"backend '{backend.name}' has no coupling map; the QEC agent "
@@ -122,13 +128,15 @@ class QECAgent(Agent):
     def run_with_qec(
         self,
         circuit: QuantumCircuit,
-        backend: Backend,
+        backend: Backend | str,
         shots: int = 1024,
         seed: int | None = None,
     ) -> tuple[dict[str, int], QECApplication]:
         """Convenience wrapper: apply QEC then run on the corrected backend."""
         application = self.apply(backend)
-        job = application.corrected_backend.run(circuit, shots=shots, seed=seed)
+        job = default_service().submit(
+            circuit, backend=application.corrected_backend, shots=shots, seed=seed
+        )
         return job.result().get_counts(), application
 
     def _physical_error_rate(self, backend: Backend) -> float:

@@ -25,6 +25,12 @@ from repro.errors import SandboxError
 
 ALLOWED_IMPORT_PREFIXES = ("repro.quantum", "repro.errors", "math")
 
+#: Ambient seed for unseeded ``backend.run`` calls inside generated programs.
+#: Sandboxed execution is deterministic-by-default so (a) the multi-pass loop
+#: replays identically and (b) repeated candidates hit the execution result
+#: cache instead of re-simulating.
+SANDBOX_RUN_SEED = 171_717
+
 _SAFE_BUILTIN_NAMES = (
     "abs", "all", "any", "bin", "bool", "dict", "divmod", "enumerate",
     "filter", "float", "format", "frozenset", "getattr", "hasattr", "hash",
@@ -58,19 +64,33 @@ class ExecutionResult:
     exception_type: str | None = None
     exception_message: str | None = None
     trace: str = ""
+    #: Circuit simulations the program triggered (via the shared
+    #: ExecutionService) and how many of those were served from the result
+    #: cache — generated programs call ``backend.run`` through the shim, so
+    #: repeated identical candidates cost nothing to re-execute.
+    simulations: int = 0
+    sim_cache_hits: int = 0
 
     def artifact(self, name: str):
         """Fetch a variable the generated program defined (or None)."""
         return self.namespace.get(name)
 
 
-def run_code(code: str, timeout_instructions: int = 10_000_000) -> ExecutionResult:
+def run_code(
+    code: str,
+    timeout_instructions: int = 10_000_000,
+    run_seed: int | None = SANDBOX_RUN_SEED,
+) -> ExecutionResult:
     """Compile and execute generated code in the sandbox.
 
     Returns a failed :class:`ExecutionResult` (never raises) for any error in
     the candidate program, including syntax errors — the trace string is what
-    the repair loop consumes.
+    the repair loop consumes.  ``run_seed`` is the ambient seed applied to
+    unseeded ``backend.run`` calls the program makes (``None`` restores true
+    entropy).
     """
+    from repro.quantum.execution import ambient_seed, default_service
+
     safe_builtins = {name: getattr(builtins, name) for name in _SAFE_BUILTIN_NAMES
                      if hasattr(builtins, name)}
     safe_builtins["True"] = True
@@ -79,6 +99,7 @@ def run_code(code: str, timeout_instructions: int = 10_000_000) -> ExecutionResu
     safe_builtins["__import__"] = _restricted_import
     namespace: dict = {"__builtins__": safe_builtins, "__name__": "__generated__"}
     buffer = io.StringIO()
+    before = default_service().stats()
     try:
         compiled = compile(code, "<generated>", "exec")
     except SyntaxError as exc:
@@ -90,7 +111,7 @@ def run_code(code: str, timeout_instructions: int = 10_000_000) -> ExecutionResu
             trace=trace,
         )
     try:
-        with redirect_stdout(buffer):
+        with redirect_stdout(buffer), ambient_seed(run_seed):
             exec(compiled, namespace)  # noqa: S102 - the sandbox is the point
     except Exception as exc:  # noqa: BLE001 - everything must be captured
         tb_lines = traceback.format_exception_only(type(exc), exc)
@@ -107,10 +128,27 @@ def run_code(code: str, timeout_instructions: int = 10_000_000) -> ExecutionResu
             exception_type=type(exc).__name__,
             exception_message=str(exc),
             trace=trace,
+            **_sim_delta(before),
         )
     return ExecutionResult(
-        ok=True, namespace=_strip(namespace), stdout=buffer.getvalue()
+        ok=True,
+        namespace=_strip(namespace),
+        stdout=buffer.getvalue(),
+        **_sim_delta(before),
     )
+
+
+def _sim_delta(before: dict) -> dict:
+    """Execution-service activity attributable to the sandboxed program."""
+    from repro.quantum.execution import default_service
+
+    after = default_service().stats()
+    return {
+        "simulations": int(after.get("simulations", 0) - before.get("simulations", 0)),
+        "sim_cache_hits": int(
+            after.get("cache_hits", 0) - before.get("cache_hits", 0)
+        ),
+    }
 
 
 def _strip(namespace: dict) -> dict:

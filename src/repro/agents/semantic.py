@@ -213,15 +213,17 @@ class SemanticAnalyzerAgent(Agent):
         return None
 
     def _simulate(self, qc: QuantumCircuit) -> dict[str, float] | None:
-        from repro.quantum.backend import LocalSimulator
+        # Grading runs through the shared ExecutionService with a fixed seed:
+        # re-grading an unchanged candidate (every multi-pass iteration) and
+        # re-simulating the reference program (every eval sample) become
+        # cache hits instead of fresh simulations.
+        from repro.quantum.execution import execute
 
         try:
             if not qc.has_measurements():
                 return Statevector.from_circuit(qc).probabilities_dict()
-            result = (
-                LocalSimulator()
-                .run(qc, shots=self.shots, seed=GRADING_SEED)
-                .result()
+            result = execute(
+                qc, backend="local_simulator", shots=self.shots, seed=GRADING_SEED
             )
             counts = result.get_counts()
         except Exception:  # noqa: BLE001 - unsimulable circuit = no artifact

@@ -9,6 +9,7 @@ Commands
 ``eval <arm>``             evaluate one pipeline arm on the test suite
                            (arm = base | ft | rag | cot | scot | mp3)
 ``demo``                   one multi-agent generation episode, verbose
+``backends``               list registered execution backends and aliases
 """
 
 from __future__ import annotations
@@ -61,6 +62,7 @@ def _cmd_eval(args) -> int:
         build_suite,
         comparison_table,
         evaluate,
+        execution_stats_table,
     )
     from repro.llm.faults import ModelConfig
 
@@ -75,13 +77,26 @@ def _cmd_eval(args) -> int:
     )
     result = evaluate(settings, build_suite())
     print(comparison_table([result]).render())
+    if args.exec_stats:
+        print()
+        print(execution_stats_table([result]).render())
     return 0
 
 
 def _cmd_demo(args) -> int:
     from repro.agents import Orchestrator
+    from repro.errors import BackendError
     from repro.llm import make_model, synthesize
+    from repro.quantum.execution import resolve_backend
 
+    if args.qec and not args.backend:
+        print("error: --qec needs a device target; pass e.g. --backend brisbane")
+        return 2
+    try:
+        target = resolve_backend(args.backend) if args.backend else None
+    except BackendError as exc:
+        print(f"error: {exc}")
+        return 2
     orchestrator = Orchestrator(
         model=make_model(fine_tuned=True, prompt_style="scot"), max_passes=3
     )
@@ -91,11 +106,43 @@ def _cmd_demo(args) -> int:
         params={"marked": "101"},
         reference_code=synthesize("grover", {"marked": "101"}, "correct"),
         seed=args.seed,
+        target_backend=target,
+        apply_qec=args.qec,
     )
     print(artifact.log.render())
     print(f"\naccepted: {artifact.accepted}")
+    if artifact.qec is not None:
+        print(
+            f"qec: suppression {artifact.qec.suppression_factor:.4f} on "
+            f"'{artifact.qec.corrected_backend.name}'"
+        )
     print("\n--- generated program ---")
     print(artifact.code)
+    return 0
+
+
+def _cmd_backends(_args) -> int:
+    from repro.quantum.execution import default_service, get_backend, provider
+
+    registry = provider()
+    for name in registry.names():
+        backend = get_backend(name)
+        aliases = registry.aliases_of(name)
+        alias_note = f"  (aliases: {', '.join(aliases)})" if aliases else ""
+        noise = "noisy" if backend.noise_model is not None else "ideal"
+        coupled = (
+            "coupled" if backend.coupling_map is not None else "fully-connected"
+        )
+        print(
+            f"  {name:18s} {backend.num_qubits:>4d} qubits  "
+            f"{noise:5s}  {coupled}{alias_note}"
+        )
+    stats = default_service().stats()
+    print(
+        f"\nexecution service: {stats.get('simulations', 0)} simulations, "
+        f"{stats.get('cache_hits', 0)} cache hits "
+        f"({stats.get('cache_hit_rate', 0.0):.0%} hit rate)"
+    )
     return 0
 
 
@@ -117,9 +164,23 @@ def main(argv: list[str] | None = None) -> int:
     eval_parser = sub.add_parser("eval", help="evaluate one arm on the suite")
     eval_parser.add_argument("arm")
     eval_parser.add_argument("--samples", type=int, default=4)
+    eval_parser.add_argument(
+        "--exec-stats", action="store_true", dest="exec_stats",
+        help="also print ExecutionService simulation/cache counters",
+    )
 
     demo_parser = sub.add_parser("demo", help="one verbose generation episode")
     demo_parser.add_argument("--seed", type=int, default=0)
+    demo_parser.add_argument(
+        "--backend", default=None,
+        help="target backend name/alias from the registry (see 'backends')",
+    )
+    demo_parser.add_argument(
+        "--qec", action="store_true",
+        help="attach the QEC agent to the target backend",
+    )
+
+    sub.add_parser("backends", help="list registered execution backends")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -128,6 +189,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "eval": _cmd_eval,
         "demo": _cmd_demo,
+        "backends": _cmd_backends,
     }
     return handlers[args.command](args)
 

@@ -2,7 +2,12 @@
 
 from repro.evalsuite.passk import mean_pass_at_k, pass_at_k
 from repro.evalsuite.qhe import build_qhe, qhe_cases
-from repro.evalsuite.reporting import accuracy_bars, comparison_table, per_family_table
+from repro.evalsuite.reporting import (
+    accuracy_bars,
+    comparison_table,
+    execution_stats_table,
+    per_family_table,
+)
 from repro.evalsuite.runner import (
     EvalResult,
     PipelineSettings,
@@ -22,6 +27,7 @@ __all__ = [
     "build_task",
     "comparison_table",
     "evaluate",
+    "execution_stats_table",
     "mean_pass_at_k",
     "pass_at_k",
     "per_family_table",

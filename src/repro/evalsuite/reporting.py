@@ -39,6 +39,31 @@ def accuracy_bars(results: list[EvalResult], title: str) -> str:
     )
 
 
+def execution_stats_table(
+    results: list[EvalResult], title: str = "Execution service activity"
+) -> AsciiTable:
+    """Per-arm simulation and result-cache counters (ExecutionService)."""
+    table = AsciiTable(
+        ["Arm", "Simulations", "Cache hits", "Cache misses", "Hit rate"],
+        title=title,
+    )
+    for result in results:
+        stats = result.execution_stats or {}
+        hits = stats.get("cache_hits", 0)
+        misses = stats.get("cache_misses", 0)
+        lookups = hits + misses
+        table.add_row(
+            [
+                result.label,
+                stats.get("simulations", 0),
+                hits,
+                misses,
+                f"{hits / lookups:.1%}" if lookups else "-",
+            ]
+        )
+    return table
+
+
 def per_family_table(result: EvalResult) -> AsciiTable:
     """Per-family success detail for one arm (debugging aid)."""
     table = AsciiTable(

@@ -18,6 +18,7 @@ from repro.evalsuite.suite import Task
 from repro.llm.faults import ModelConfig
 from repro.llm.model import SimulatedCodeLLM
 from repro.prompts.generator import ScaffoldGenerator
+from repro.quantum.execution import default_service
 from repro.rag.retriever import Retriever
 from repro.utils.rng import derive_seed
 from repro.utils.stats import binomial_confidence_interval
@@ -69,6 +70,9 @@ class EvalResult:
 
     label: str
     outcomes: list[TaskOutcome]
+    #: ExecutionService activity attributable to this arm (simulations run,
+    #: result-cache hits/misses) — see :func:`evaluate`.
+    execution_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def num_tasks(self) -> int:
@@ -129,7 +133,13 @@ def build_pipeline(settings: PipelineSettings) -> tuple[CodeGenerationAgent, Sem
 
 
 def evaluate(settings: PipelineSettings, tasks: list[Task]) -> EvalResult:
-    """Run one arm over a bank; deterministic given settings.base_seed."""
+    """Run one arm over a bank; deterministic given settings.base_seed.
+
+    Grading runs through the shared ExecutionService, so each result carries
+    the arm's simulation and cache counters — a repeat run of an identical
+    arm is served almost entirely from the result cache.
+    """
+    before = default_service().stats()
     codegen, analyzer = build_pipeline(settings)
     outcomes = []
     for task in tasks:
@@ -172,4 +182,13 @@ def evaluate(settings: PipelineSettings, tasks: list[Task]) -> EvalResult:
                 passes_used=passes_used,
             )
         )
-    return EvalResult(label=settings.display_label(), outcomes=outcomes)
+    after = default_service().stats()
+    execution_stats = {
+        key: int(after.get(key, 0) - before.get(key, 0))
+        for key in ("simulations", "cache_hits", "cache_misses")
+    }
+    return EvalResult(
+        label=settings.display_label(),
+        outcomes=outcomes,
+        execution_stats=execution_stats,
+    )

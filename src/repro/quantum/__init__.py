@@ -7,12 +7,18 @@ grades against.
 
 Quickstart::
 
-    from repro.quantum import QuantumCircuit, LocalSimulator
+    from repro.quantum import QuantumCircuit, default_service, get_backend
 
     qc = QuantumCircuit(2, 2)
     qc.h(0)
     qc.cx(0, 1)
     qc.measure([0, 1], [0, 1])
+    job = default_service().submit(qc, backend=get_backend("ideal"),
+                                   shots=1000, seed=7)
+    counts = job.result().get_counts()
+
+The legacy one-liner still works (and shares the execution cache)::
+
     counts = LocalSimulator().run(qc, shots=1000, seed=7).result().get_counts()
 """
 
@@ -31,6 +37,19 @@ from repro.quantum.circuit import (
     QuantumCircuit,
     QuantumRegister,
 )
+# NOTE: ``repro.quantum.execution.execute`` is deliberately NOT re-exported
+# here — the package-level ``execute`` name belongs to the *legacy* removed
+# symbol (see repro.quantum.legacy), which the fault taxonomy depends on.
+from repro.quantum.execution import (
+    ExecutionJob,
+    ExecutionService,
+    JobStatus,
+    default_service,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
 from repro.quantum.noise import NoiseModel, PauliNoise, ReadoutError
 from repro.quantum.qasm import circuit_to_qasm, qasm_to_circuit
 from repro.quantum.statevector import Statevector
@@ -47,11 +66,14 @@ __all__ = [
     "BasicAer",
     "ClassicalRegister",
     "CouplingMap",
+    "ExecutionJob",
+    "ExecutionService",
     "FakeBrisbane",
     "FakeFalcon",
     "IBMQ",
     "Instruction",
     "Job",
+    "JobStatus",
     "LocalSimulator",
     "NoiseModel",
     "NoisySimulator",
@@ -62,7 +84,12 @@ __all__ = [
     "Result",
     "Statevector",
     "circuit_to_qasm",
+    "default_service",
     "execute",
+    "get_backend",
+    "list_backends",
     "qasm_to_circuit",
+    "register_backend",
+    "resolve_backend",
     "transpile",
 ]

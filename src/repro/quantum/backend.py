@@ -5,12 +5,19 @@ returning a job whose ``result()`` exposes ``get_counts()``.  Backends with a
 coupling map *reject* circuits that use uncoupled qubit pairs — generated code
 must transpile first, reproducing a realistic failure mode of LLM-written
 Qiskit programs.
+
+``Backend.run`` is a compatibility shim over the unified execution subsystem
+(:mod:`repro.quantum.execution`): it routes through the shared
+:class:`~repro.quantum.execution.service.ExecutionService`, so legacy call
+sites get the content-addressed result cache and its counters for free.  New
+code should prefer ``get_backend(name)`` + ``service.submit(...)``.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,7 +27,8 @@ from repro.quantum.noise import NoiseModel
 from repro.quantum.simulator import MAX_DENSE_QUBITS, simulate_counts
 from repro.quantum.topology import CouplingMap
 
-_job_counter = itertools.count(1)
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.quantum.execution.jobs import ExecutionJob
 
 
 class Result:
@@ -53,7 +61,13 @@ class Result:
 
     def get_memory(self, index: int = 0) -> list[str]:
         """Per-shot bitstrings; requires ``memory=True`` at run time."""
-        mem = self._memory_list[index]
+        try:
+            mem = self._memory_list[index]
+        except IndexError as exc:
+            raise BackendError(
+                f"result has {len(self._memory_list)} circuit(s), "
+                f"index {index} out of range"
+            ) from exc
         if mem is None:
             raise BackendError("run with memory=True to record per-shot results")
         return list(mem)
@@ -71,7 +85,13 @@ class Result:
 
 
 class Job:
-    """A (synchronously completed) execution job."""
+    """A (synchronously completed) execution job.
+
+    Legacy surface kept for callers that construct jobs directly;
+    ``Backend.run`` now returns the richer
+    :class:`~repro.quantum.execution.jobs.ExecutionJob`, whose ``status()``
+    compares equal to the ``"DONE"`` strings this class exposes.
+    """
 
     def __init__(self, result: Result, job_id: str) -> None:
         self._result = result
@@ -118,12 +138,17 @@ class Backend:
                 f"backend.run expects a QuantumCircuit, got {type(circuit).__name__}"
             )
         touched = {q for inst in circuit for q in inst.qubits}
-        highest = max(touched, default=circuit.num_qubits - 1)
-        if highest >= self.num_qubits:
-            raise BackendError(
-                f"circuit uses qubit {highest} but backend "
-                f"'{self.name}' has {self.num_qubits} qubits"
-            )
+        # Only *touched* qubits are checked against the device width: a wide
+        # declared register with no instructions (or instructions confined to
+        # low indices) is executable anywhere, so an empty circuit must not
+        # fall back to comparing its declared width against the device.
+        if touched:
+            highest = max(touched)
+            if highest >= self.num_qubits:
+                raise BackendError(
+                    f"circuit uses qubit {highest} but backend "
+                    f"'{self.name}' has {self.num_qubits} qubits"
+                )
         if len(touched) > self.max_active_qubits:
             raise BackendError(
                 f"backend '{self.name}' simulates at most "
@@ -152,19 +177,10 @@ class Backend:
                         "transpile(circuit, backend=...) first"
                     )
 
-    # -- execution ----------------------------------------------------------------
-
-    def run(
-        self,
-        circuits: QuantumCircuit | Sequence[QuantumCircuit],
-        shots: int = 1024,
-        seed: int | None = None,
-        memory: bool = False,
-    ) -> Job:
-        """Execute one circuit or a list of circuits; returns a finished Job."""
-        if isinstance(circuits, QuantumCircuit):
-            circuits = [circuits]
-        circuits = list(circuits)
+    def validate_batch(
+        self, circuits: Sequence[QuantumCircuit], shots: int
+    ) -> None:
+        """Validate a batch submission (used by the ExecutionService)."""
         if not circuits:
             raise BackendError("backend.run called with no circuits")
         if not 0 < shots <= self.max_shots:
@@ -173,16 +189,46 @@ class Backend:
             )
         for qc in circuits:
             self._validate_circuit(qc)
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute_circuit(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: int | None = None,
+        memory: bool = False,
+    ) -> tuple[dict[str, int], list[str] | None]:
+        """Low-level single-circuit simulation (no validation, no caching).
+
+        This is the primitive the :class:`ExecutionService` workers call; it
+        carries the backend's noise model into the simulator and nothing else.
+        """
         rng = np.random.default_rng(seed)
-        counts_list, memory_list = [], []
-        for qc in circuits:
-            counts, mem = simulate_counts(
-                qc, shots, rng, noise=self.noise_model, memory=memory
-            )
-            counts_list.append(counts)
-            memory_list.append(mem)
-        result = Result(counts_list, memory_list, self.name, shots, seed)
-        return Job(result, job_id=f"job-{next(_job_counter):06d}")
+        return simulate_counts(
+            circuit, shots, rng, noise=self.noise_model, memory=memory
+        )
+
+    def run(
+        self,
+        circuits: QuantumCircuit | Sequence[QuantumCircuit],
+        shots: int = 1024,
+        seed: int | None = None,
+        memory: bool = False,
+    ) -> "ExecutionJob":
+        """Execute one circuit or a list of circuits; returns a finished job.
+
+        Compatibility shim: delegates to the shared
+        :class:`~repro.quantum.execution.service.ExecutionService`, so repeated
+        deterministic runs are served from the result cache.  Validation
+        errors raise here, exactly as before; the returned job is already
+        ``DONE``.
+        """
+        from repro.quantum.execution.service import default_service
+
+        return default_service().run(
+            circuits, backend=self, shots=shots, seed=seed, memory=memory
+        )
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name='{self.name}', qubits={self.num_qubits})"

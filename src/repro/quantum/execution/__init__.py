@@ -1,0 +1,71 @@
+"""``repro.quantum.execution`` — the unified circuit-execution subsystem.
+
+Three cooperating pieces (see the per-module docstrings for detail):
+
+* :mod:`~repro.quantum.execution.registry` — a :class:`BackendProvider`
+  registry of named, lazily-constructed backends
+  (``get_backend("fake_brisbane")``, ``register_backend(...)``, aliases);
+* :mod:`~repro.quantum.execution.service` — the :class:`ExecutionService`
+  thread pool that accepts batched submissions and returns async
+  :class:`ExecutionJob` handles (``QUEUED -> RUNNING -> DONE/ERROR``);
+* :mod:`~repro.quantum.execution.cache` — a content-addressed
+  :class:`ResultCache` keyed by circuit/backend/shots/seed/noise fingerprints,
+  with hit/miss counters surfaced through ``service.stats()``.
+
+Quickstart::
+
+    from repro.quantum import QuantumCircuit
+    from repro.quantum.execution import default_service, get_backend
+
+    backend = get_backend("brisbane")            # alias of fake_brisbane
+    job = default_service().submit([qc1, qc2], backend=backend, shots=1024, seed=7)
+    counts = job.result(timeout=30).get_counts(0)
+
+``Backend.run`` remains available and now delegates here, so legacy call
+sites transparently share the same cache and counters.
+"""
+
+from repro.quantum.execution.cache import (
+    CacheKey,
+    CacheStats,
+    ResultCache,
+    circuit_fingerprint,
+    noise_fingerprint,
+)
+from repro.quantum.execution.jobs import ExecutionJob, JobStatus
+from repro.quantum.execution.registry import (
+    BackendProvider,
+    get_backend,
+    list_backends,
+    provider,
+    register_backend,
+    resolve_backend,
+)
+from repro.quantum.execution.service import (
+    ExecutionService,
+    ambient_seed,
+    default_service,
+    execute,
+    set_default_service,
+)
+
+__all__ = [
+    "BackendProvider",
+    "CacheKey",
+    "ambient_seed",
+    "CacheStats",
+    "ExecutionJob",
+    "ExecutionService",
+    "JobStatus",
+    "ResultCache",
+    "circuit_fingerprint",
+    "default_service",
+    "execute",
+    "get_backend",
+    "list_backends",
+    "noise_fingerprint",
+    "provider",
+    "register_backend",
+    "resolve_backend",
+    "set_default_service",
+]

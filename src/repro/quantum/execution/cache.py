@@ -1,0 +1,145 @@
+"""Content-addressed result cache for circuit execution.
+
+Execution results are keyed by everything that determines them:
+
+    (circuit fingerprint, backend name, shots, seed, noise fingerprint, memory)
+
+so a cache hit is *exactly* a repeated simulation — the multi-pass refinement
+loop re-grading an unchanged program, an evalsuite arm re-run under the same
+seeds, or two experiment drivers sharing a reference circuit all short-circuit
+to the stored counts.  Entries are immutable snapshots (counts dicts are
+copied on the way in and out), the store is a bounded LRU, and every lookup
+updates the hit/miss counters that the service and the evalsuite surface in
+their reports.
+
+Executions with ``seed=None`` are inherently non-reproducible and are never
+cached (they would poison determinism guarantees).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.noise import NoiseModel
+from repro.utils.rng import stable_hash
+
+#: Default number of distinct executions retained by a :class:`ResultCache`.
+DEFAULT_CACHE_SIZE = 512
+
+
+def circuit_fingerprint(circuit: QuantumCircuit) -> str:
+    """Stable content hash of a circuit's executable structure.
+
+    Covers register widths and the full instruction stream (names, qubits,
+    clbits, parameters, conditions) — everything the simulator reads.  Circuit
+    names and metadata are deliberately excluded: two identically-built
+    circuits with different labels are the same execution.
+    """
+    payload = (
+        circuit.num_qubits,
+        circuit.num_clbits,
+        tuple(
+            (inst.name, inst.qubits, inst.clbits, inst.params, inst.condition)
+            for inst in circuit
+        ),
+    )
+    return f"{stable_hash('circuit', payload):016x}"
+
+
+def noise_fingerprint(noise: NoiseModel | None) -> str:
+    """Stable content hash of a noise model (``'ideal'`` for no noise)."""
+    if noise is None or noise.is_trivial:
+        return "ideal"
+    return noise.fingerprint()
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The full identity of one deterministic circuit execution."""
+
+    circuit: str
+    backend: str
+    shots: int
+    seed: int
+    noise: str
+    memory: bool
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters; snapshots are cheap value copies."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses)
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since an ``earlier`` snapshot."""
+        return CacheStats(self.hits - earlier.hits, self.misses - earlier.misses)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.1%})"
+        )
+
+
+class ResultCache:
+    """Thread-safe bounded LRU of ``(counts, memory)`` execution outcomes."""
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._store: OrderedDict[
+            CacheKey, tuple[dict[str, int], list[str] | None]
+        ] = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def get(self, key: CacheKey) -> tuple[dict[str, int], list[str] | None] | None:
+        """Look up one execution; counts towards hit/miss statistics."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.stats.hits += 1
+            counts, mem = entry
+            return dict(counts), (list(mem) if mem is not None else None)
+
+    def put(
+        self, key: CacheKey, counts: dict[str, int], memory: list[str] | None
+    ) -> None:
+        with self._lock:
+            self._store[key] = (dict(counts), list(memory) if memory else memory)
+            self._store.move_to_end(key)
+            while len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._store.clear()
+            self.stats = CacheStats()
+
+    def __repr__(self) -> str:
+        return f"ResultCache(size={len(self)}/{self.maxsize}, {self.stats!r})"

@@ -1,0 +1,213 @@
+"""Backend provider registry: named, lazily-constructed execution targets.
+
+Call sites stop hard-coding ``FakeBrisbane()`` / ``LocalSimulator()`` and ask
+the registry instead::
+
+    from repro.quantum.execution import get_backend
+
+    backend = get_backend("fake_brisbane")      # canonical name
+    backend = get_backend("brisbane")           # alias
+    backend = get_backend("ideal")              # alias of local_simulator
+
+Backends are constructed on first lookup and memoised, so every consumer
+shares one instance per name — which also makes the execution result cache
+maximally effective (one backend name + one noise fingerprint).  New targets
+register a zero-argument factory::
+
+    register_backend("my_device", lambda: NoisySimulator(model), aliases=("mine",))
+
+Unknown names raise :class:`~repro.errors.BackendError` listing close matches.
+"""
+
+from __future__ import annotations
+
+import difflib
+import threading
+from typing import Callable
+
+from repro.errors import BackendError
+from repro.quantum.backend import (
+    Backend,
+    FakeBrisbane,
+    FakeFalcon,
+    LocalSimulator,
+    NoisySimulator,
+)
+from repro.quantum.noise import NoiseModel
+
+BackendFactory = Callable[[], Backend]
+
+
+class BackendProvider:
+    """A registry of named backend factories with aliases and lazy instances."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, BackendFactory] = {}
+        self._aliases: dict[str, str] = {}
+        self._instances: dict[str, Backend] = {}
+        self._lock = threading.RLock()
+
+    # -- registration ------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: BackendFactory | Backend,
+        aliases: tuple[str, ...] | list[str] = (),
+        overwrite: bool = False,
+    ) -> None:
+        """Register a factory (or a ready instance) under ``name`` + aliases.
+
+        Registration is atomic: every name/alias conflict is checked before
+        anything is written, so a rejected call leaves the registry unchanged.
+        """
+        canonical = self._normalize(name)
+        alias_keys = [self._normalize(alias) for alias in aliases]
+        with self._lock:
+            if not overwrite and (
+                canonical in self._factories or canonical in self._aliases
+            ):
+                raise BackendError(f"backend '{canonical}' is already registered")
+            for alias_key in alias_keys:
+                if (
+                    not overwrite
+                    and self._aliases.get(alias_key, canonical) != canonical
+                ):
+                    raise BackendError(
+                        f"alias '{alias_key}' already points at "
+                        f"'{self._aliases[alias_key]}'"
+                    )
+                if alias_key in self._factories:
+                    raise BackendError(
+                        f"alias '{alias_key}' collides with a registered backend"
+                    )
+            if isinstance(factory, Backend):
+                instance = factory
+                self._factories[canonical] = lambda: instance
+                self._instances[canonical] = instance
+            else:
+                self._factories[canonical] = factory
+                self._instances.pop(canonical, None)
+            for alias_key in alias_keys:
+                self._aliases[alias_key] = canonical
+
+    def unregister(self, name: str) -> None:
+        canonical = self.resolve_name(name)
+        with self._lock:
+            self._factories.pop(canonical, None)
+            self._instances.pop(canonical, None)
+            for alias in [a for a, t in self._aliases.items() if t == canonical]:
+                del self._aliases[alias]
+
+    # -- lookup ---------------------------------------------------------------------
+
+    def resolve_name(self, name: str) -> str:
+        """Canonical backend name for ``name`` (which may be an alias)."""
+        key = self._normalize(name)
+        with self._lock:
+            if key in self._factories:
+                return key
+            if key in self._aliases:
+                return self._aliases[key]
+            candidates = sorted(set(self._factories) | set(self._aliases))
+        suggestions = difflib.get_close_matches(key, candidates, n=3, cutoff=0.4)
+        hint = f"; did you mean {suggestions}?" if suggestions else ""
+        raise BackendError(
+            f"unknown backend '{name}'; registered: {candidates}{hint}"
+        )
+
+    def get(self, name: str, fresh: bool = False) -> Backend:
+        """The (memoised) backend instance for ``name``.
+
+        ``fresh=True`` bypasses the memo and builds a new instance without
+        storing it — for callers that intend to mutate the backend.
+        """
+        canonical = self.resolve_name(name)
+        with self._lock:
+            if fresh:
+                return self._factories[canonical]()
+            instance = self._instances.get(canonical)
+            if instance is None:
+                instance = self._factories[canonical]()
+                self._instances[canonical] = instance
+            return instance
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._factories)
+
+    def aliases_of(self, name: str) -> list[str]:
+        canonical = self.resolve_name(name)
+        with self._lock:
+            return sorted(a for a, t in self._aliases.items() if t == canonical)
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        if not isinstance(name, str) or not name.strip():
+            raise BackendError(f"backend name must be a non-empty string, got {name!r}")
+        return name.strip().lower()
+
+
+def _default_noisy_simulator() -> Backend:
+    """A generic noisy target: mid-range depolarizing + readout error."""
+    return NoisySimulator(
+        NoiseModel.uniform_depolarizing(p_1q=1e-3, p_2q=1e-2, p_readout=1e-2)
+    )
+
+
+def _builtin_provider() -> BackendProvider:
+    provider = BackendProvider()
+    provider.register(
+        "local_simulator",
+        LocalSimulator,
+        aliases=("local", "ideal", "simulator", "statevector", "aer_simulator"),
+    )
+    provider.register(
+        "fake_brisbane", FakeBrisbane, aliases=("brisbane", "ibm_brisbane")
+    )
+    provider.register("fake_falcon", FakeFalcon, aliases=("falcon",))
+    provider.register("noisy_simulator", _default_noisy_simulator, aliases=("noisy",))
+    return provider
+
+
+#: The process-wide registry that `get_backend`/`register_backend` operate on.
+_PROVIDER = _builtin_provider()
+
+
+def provider() -> BackendProvider:
+    """The process-wide :class:`BackendProvider`."""
+    return _PROVIDER
+
+
+def get_backend(name: str, fresh: bool = False) -> Backend:
+    """Look up a backend by canonical name or alias (lazy, memoised)."""
+    return _PROVIDER.get(name, fresh=fresh)
+
+
+def register_backend(
+    name: str,
+    factory: BackendFactory | Backend,
+    aliases: tuple[str, ...] | list[str] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a backend factory/instance on the process-wide registry."""
+    _PROVIDER.register(name, factory, aliases=aliases, overwrite=overwrite)
+
+
+def list_backends() -> list[str]:
+    """Canonical names of every registered backend."""
+    return _PROVIDER.names()
+
+
+def resolve_backend(backend: Backend | str | None) -> Backend:
+    """Coerce a backend argument: instance passes through, str hits the
+    registry, ``None`` means the ideal local simulator."""
+    if backend is None:
+        return _PROVIDER.get("local_simulator")
+    if isinstance(backend, Backend):
+        return backend
+    if isinstance(backend, str):
+        return _PROVIDER.get(backend)
+    raise BackendError(
+        f"expected a Backend, backend name, or None; got {type(backend).__name__}"
+    )

@@ -1,0 +1,407 @@
+"""The ExecutionService: batched, cached, thread-pooled circuit execution.
+
+This is the single funnel through which the repo runs circuits.  Every layer
+above (agents, evalsuite, experiments, CLI, and the ``Backend.run``
+compatibility shim) submits work here, which buys:
+
+* **batching** — ``service.submit([qc1, qc2, ...], backend="fake_brisbane",
+  shots=1024, seed=7)`` fans the circuits out across a worker pool and
+  returns one :class:`~repro.quantum.execution.jobs.ExecutionJob` whose
+  ``result()`` preserves submission order;
+* **an async job lifecycle** — ``QUEUED -> RUNNING -> DONE/ERROR``, with
+  ``job.result(timeout=...)`` and best-effort ``job.cancel()``;
+* **content-addressed caching** — deterministic executions (``seed`` given)
+  are keyed by circuit/backend/shots/seed/noise fingerprints, so repeated
+  grading passes and re-run experiment arms skip re-simulation entirely; the
+  hit/miss counters are surfaced via :meth:`ExecutionService.stats`.
+
+Seed semantics: circuit *i* of a batch executes with ``seed`` itself for
+``i == 0`` and ``derive_seed(seed, "batch", i)`` afterwards.  Index 0 matches
+the pre-service behaviour of ``Backend.run`` (a fresh generator per call), so
+single-circuit executions — the overwhelming majority — produce bit-identical
+counts to the legacy path while every circuit stays independently cacheable.
+
+Synchronous callers use :meth:`ExecutionService.run` (same semantics, same
+cache, executed inline on the calling thread) or the module-level
+:func:`execute` convenience on the shared :func:`default_service`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+from repro.errors import BackendError
+from repro.quantum.backend import Backend, Result
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.execution.cache import (
+    CacheKey,
+    ResultCache,
+    circuit_fingerprint,
+    noise_fingerprint,
+)
+from repro.quantum.execution.jobs import ExecutionJob, JobStatus
+from repro.quantum.execution.registry import resolve_backend
+from repro.utils.rng import derive_seed
+
+#: Upper bound on worker threads; dense statevector math releases little of
+#: the GIL, so a small pool captures most of the available overlap.
+DEFAULT_MAX_WORKERS = 4
+
+_ambient = threading.local()
+
+
+@contextmanager
+def ambient_seed(seed: int | None):
+    """Give unseeded executions on this thread a deterministic default.
+
+    Used by the sandbox to make generated programs (which call
+    ``backend.run(qc, shots=...)`` without a seed) reproducible — and
+    therefore cacheable: a repeated eval arm re-executes nothing.  Explicit
+    seeds always win; ``None`` restores true entropy.
+
+    Successive unseeded submissions inside one scope receive *distinct*
+    seeds (the first gets ``seed`` itself, the n-th a derivation of it), so
+    a program that runs the same circuit twice to average over shot noise
+    still sees independent samples — the sequence is merely replayable.
+    """
+    previous = getattr(_ambient, "state", None)
+    _ambient.state = None if seed is None else [seed, 0]
+    try:
+        yield
+    finally:
+        _ambient.state = previous
+
+
+def _ambient_seed() -> int | None:
+    state = getattr(_ambient, "state", None)
+    if state is None:
+        return None
+    base, index = state
+    state[1] += 1
+    return base if index == 0 else derive_seed(base, "ambient", index)
+
+
+class _Batch:
+    """Book-keeping for one submitted job's outstanding circuits."""
+
+    def __init__(
+        self,
+        job: ExecutionJob,
+        size: int,
+        backend: Backend,
+        shots: int,
+        seed: int | None,
+    ) -> None:
+        self.job = job
+        self.backend = backend
+        self.shots = shots
+        self.seed = seed
+        self.slots: list[tuple[dict[str, int], list[str] | None] | None] = (
+            [None] * size
+        )
+        self.pending = size
+        self.lock = threading.Lock()
+
+
+class ExecutionService:
+    """Thread-pool execution engine with a shared result cache."""
+
+    def __init__(
+        self,
+        max_workers: int = DEFAULT_MAX_WORKERS,
+        cache: ResultCache | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        if max_workers <= 0:
+            raise BackendError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self.cache = cache if cache is not None else (
+            ResultCache() if use_cache else None
+        )
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._jobs_submitted = 0
+        self._circuits_executed = 0
+        self._simulations = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def submit(
+        self,
+        circuits: QuantumCircuit | Sequence[QuantumCircuit],
+        backend: Backend | str | None = None,
+        shots: int = 1024,
+        seed: int | None = None,
+        memory: bool = False,
+    ) -> ExecutionJob:
+        """Asynchronously execute circuits; returns a live :class:`ExecutionJob`.
+
+        Validation (circuit/backend compatibility, shot limits) happens
+        eagerly so malformed submissions raise :class:`BackendError` here, not
+        inside a worker.  Fully-cached submissions complete without touching
+        the pool.
+        """
+        target, batch_circuits = self._prepare(circuits, backend, shots)
+        if seed is None:
+            seed = _ambient_seed()
+        job = ExecutionJob(
+            num_circuits=len(batch_circuits), backend_name=target.name
+        )
+        batch = _Batch(job, len(batch_circuits), target, shots, seed)
+        misses: list[tuple[int, QuantumCircuit, CacheKey | None, int | None]] = []
+        noise_fp = noise_fingerprint(target.noise_model)
+        for index, qc in enumerate(batch_circuits):
+            eff_seed = self._effective_seed(seed, index)
+            key = self._cache_key(qc, target, shots, eff_seed, noise_fp, memory)
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                batch.slots[index] = cached
+                batch.pending -= 1
+                job.cache_hits += 1
+            else:
+                misses.append((index, qc, key, eff_seed))
+        self._account(len(batch_circuits))
+        if not misses:
+            self._finalize(batch)
+            return job
+        pool = self._ensure_pool()
+        for index, qc, key, eff_seed in misses:
+            pool.submit(
+                self._worker, batch, target, index, qc, key, eff_seed, shots, memory
+            )
+        return job
+
+    def run(
+        self,
+        circuits: QuantumCircuit | Sequence[QuantumCircuit],
+        backend: Backend | str | None = None,
+        shots: int = 1024,
+        seed: int | None = None,
+        memory: bool = False,
+    ) -> ExecutionJob:
+        """Synchronous path: same validation, cache and seed semantics as
+        :meth:`submit`, executed inline; returns a finished job."""
+        target, batch_circuits = self._prepare(circuits, backend, shots)
+        if seed is None:
+            seed = _ambient_seed()
+        job = ExecutionJob(
+            num_circuits=len(batch_circuits), backend_name=target.name
+        )
+        job._mark_running()
+        noise_fp = noise_fingerprint(target.noise_model)
+        counts_list: list[dict[str, int]] = []
+        memory_list: list[list[str] | None] = []
+        for index, qc in enumerate(batch_circuits):
+            eff_seed = self._effective_seed(seed, index)
+            key = self._cache_key(qc, target, shots, eff_seed, noise_fp, memory)
+            counts, mem, hit = self._lookup_or_simulate(
+                target, qc, shots, eff_seed, memory, key
+            )
+            if hit:
+                job.cache_hits += 1
+            counts_list.append(counts)
+            memory_list.append(mem)
+        self._account(len(batch_circuits))
+        job._mark_done(
+            Result(counts_list, memory_list, target.name, shots, seed)
+        )
+        return job
+
+    def stats(self) -> dict[str, float | int]:
+        """Service-level counters, including cache hit/miss totals."""
+        with self._lock:
+            out: dict[str, float | int] = {
+                "jobs_submitted": self._jobs_submitted,
+                "circuits_executed": self._circuits_executed,
+                "simulations": self._simulations,
+            }
+        if self.cache is not None:
+            snap = self.cache.stats.snapshot()
+            out.update(
+                cache_hits=snap.hits,
+                cache_misses=snap.misses,
+                cache_hit_rate=snap.hit_rate,
+            )
+        return out
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool (it restarts lazily on the next submit)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _prepare(
+        self,
+        circuits: QuantumCircuit | Sequence[QuantumCircuit],
+        backend: Backend | str | None,
+        shots: int,
+    ) -> tuple[Backend, list[QuantumCircuit]]:
+        target = resolve_backend(backend)
+        if isinstance(circuits, QuantumCircuit):
+            circuits = [circuits]
+        batch = list(circuits)
+        target.validate_batch(batch, shots)
+        return target, batch
+
+    @staticmethod
+    def _effective_seed(seed: int | None, index: int) -> int | None:
+        if seed is None or index == 0:
+            return seed
+        return derive_seed(seed, "batch", index)
+
+    def _cache_key(
+        self,
+        circuit: QuantumCircuit,
+        backend: Backend,
+        shots: int,
+        eff_seed: int | None,
+        noise_fp: str,
+        memory: bool,
+    ) -> CacheKey | None:
+        if self.cache is None or eff_seed is None:
+            return None
+        return CacheKey(
+            circuit=circuit_fingerprint(circuit),
+            backend=backend.name,
+            shots=shots,
+            seed=eff_seed,
+            noise=noise_fp,
+            memory=memory,
+        )
+
+    def _simulate(
+        self,
+        backend: Backend,
+        circuit: QuantumCircuit,
+        shots: int,
+        eff_seed: int | None,
+        memory: bool,
+    ) -> tuple[dict[str, int], list[str] | None]:
+        with self._lock:
+            self._simulations += 1
+        return backend.execute_circuit(circuit, shots, eff_seed, memory)
+
+    def _lookup_or_simulate(
+        self,
+        backend: Backend,
+        circuit: QuantumCircuit,
+        shots: int,
+        eff_seed: int | None,
+        memory: bool,
+        key: CacheKey | None,
+        probe: bool = True,
+    ) -> tuple[dict[str, int], list[str] | None, bool]:
+        """One circuit through the cache: ``(counts, memory, was_hit)``.
+
+        The single execution path shared by the sync loop and the pool
+        workers, so cache/seed semantics can never fork between them.
+        ``probe=False`` skips the lookup (pool workers already missed at
+        submit time; probing again would double-count the miss).
+        """
+        cached = self.cache.get(key) if probe and key is not None else None
+        if cached is not None:
+            return cached[0], cached[1], True
+        counts, mem = self._simulate(backend, circuit, shots, eff_seed, memory)
+        if key is not None:
+            self.cache.put(key, counts, mem)
+        return counts, mem, False
+
+    def _account(self, num_circuits: int) -> None:
+        with self._lock:
+            self._jobs_submitted += 1
+            self._circuits_executed += num_circuits
+
+    def _worker(
+        self,
+        batch: _Batch,
+        backend: Backend,
+        index: int,
+        circuit: QuantumCircuit,
+        key: CacheKey | None,
+        eff_seed: int | None,
+        shots: int,
+        memory: bool,
+    ) -> None:
+        job = batch.job
+        if not job._mark_running():
+            return  # cancelled (or already failed) before this circuit started
+        try:
+            counts, mem, _ = self._lookup_or_simulate(
+                backend, circuit, shots, eff_seed, memory, key, probe=False
+            )
+        except BaseException as exc:  # noqa: BLE001 - relayed via job.result()
+            job._mark_error(exc)
+            return
+        with batch.lock:
+            batch.slots[index] = (counts, mem)
+            batch.pending -= 1
+            last = batch.pending == 0
+        if last:
+            self._finalize(batch)
+
+    def _finalize(self, batch: _Batch) -> None:
+        job = batch.job
+        if job.done():
+            return
+        counts_list = [slot[0] for slot in batch.slots if slot is not None]
+        memory_list = [slot[1] for slot in batch.slots if slot is not None]
+        if len(counts_list) != len(batch.slots):  # pragma: no cover - invariant
+            job._mark_error(BackendError("internal error: incomplete batch"))
+            return
+        if job.status() is JobStatus.QUEUED:
+            job._mark_running()
+        job._mark_done(
+            Result(
+                counts_list, memory_list, batch.backend.name, batch.shots, batch.seed
+            )
+        )
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-exec",
+                )
+            return self._pool
+
+
+# -- process-wide default service ---------------------------------------------------
+
+_default: ExecutionService | None = None
+_default_lock = threading.Lock()
+
+
+def default_service() -> ExecutionService:
+    """The shared process-wide :class:`ExecutionService` (lazily created)."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = ExecutionService()
+        return _default
+
+
+def set_default_service(service: ExecutionService | None) -> None:
+    """Replace the shared service (``None`` resets to a fresh default)."""
+    global _default
+    with _default_lock:
+        _default = service
+
+
+def execute(
+    circuits: QuantumCircuit | Sequence[QuantumCircuit],
+    backend: Backend | str | None = None,
+    shots: int = 1024,
+    seed: int | None = None,
+    memory: bool = False,
+) -> Result:
+    """One-call synchronous execution on the shared default service."""
+    return default_service().run(
+        circuits, backend=backend, shots=shots, seed=seed, memory=memory
+    ).result()

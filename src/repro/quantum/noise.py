@@ -132,6 +132,24 @@ class NoiseModel:
     def readout_for(self, qubit: int) -> ReadoutError | None:
         return self._local_readout.get(qubit, self.readout)
 
+    def fingerprint(self) -> str:
+        """Stable content hash of every channel in the model.
+
+        Used by the execution result cache: two backends with byte-identical
+        noise (e.g. repeated ``FakeBrisbane()`` constructions) share cache
+        entries, while a scaled model (QEC-corrected backends) never collides
+        with its parent.
+        """
+        from repro.utils.rng import stable_hash
+
+        payload = (
+            tuple(sorted(self._all_qubit.items())),
+            tuple(sorted(self._local.items())),
+            self.readout,
+            tuple(sorted(self._local_readout.items())),
+        )
+        return f"{stable_hash('noise', payload):016x}"
+
     @property
     def is_trivial(self) -> bool:
         return (

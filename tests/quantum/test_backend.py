@@ -39,6 +39,13 @@ class TestRunAPI:
         with pytest.raises(BackendError, match="memory=True"):
             result.get_memory()
 
+    def test_memory_index_out_of_range(self, simulator):
+        result = simulator.run(
+            bell_pair(measure=True), shots=10, seed=4, memory=True
+        ).result()
+        with pytest.raises(BackendError, match="out of range"):
+            result.get_memory(1)
+
     def test_memory_returned(self, simulator):
         result = simulator.run(
             bell_pair(measure=True), shots=10, seed=4, memory=True
@@ -92,6 +99,14 @@ class TestValidation:
         qc.measure(7, 0)
         with pytest.raises(BackendError, match="has 5 qubits"):
             backend.run(qc)
+
+    def test_empty_circuit_wider_than_device_accepted(self):
+        # An empty circuit touches no qubits, so its declared width must not
+        # be validated against the device (regression: the old fallback
+        # compared num_qubits - 1 against the backend width).
+        backend = FakeFalcon()
+        counts = backend.run(QuantumCircuit(8, 1), shots=5, seed=1).result().get_counts()
+        assert sum(counts.values()) == 5
 
     def test_transpiled_circuit_accepted(self):
         backend = FakeFalcon()

@@ -1,0 +1,493 @@
+"""The unified execution subsystem: registry, job lifecycle, batching, cache."""
+
+import threading
+
+import pytest
+
+from repro.errors import BackendError, SimulationError
+from repro.quantum.backend import Backend, FakeFalcon, LocalSimulator
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.execution import (
+    BackendProvider,
+    ExecutionService,
+    JobStatus,
+    ResultCache,
+    ambient_seed,
+    circuit_fingerprint,
+    default_service,
+    get_backend,
+    list_backends,
+    provider,
+    resolve_backend,
+    set_default_service,
+)
+from repro.quantum.library import bell_pair
+
+
+def _tagged_circuit(tag: int, width: int = 3) -> QuantumCircuit:
+    """A circuit whose deterministic output bitstring encodes ``tag``."""
+    qc = QuantumCircuit(width, width)
+    for bit in range(width):
+        if (tag >> bit) & 1:
+            qc.x(bit)
+    qc.measure(list(range(width)), list(range(width)))
+    return qc
+
+
+class GatedBackend(Backend):
+    """Backend whose simulation blocks until the test opens the gate."""
+
+    def __init__(self) -> None:
+        super().__init__(name="gated", num_qubits=8)
+        self.gate = threading.Event()
+        self.started = threading.Event()
+
+    def execute_circuit(self, circuit, shots, seed=None, memory=False):
+        self.started.set()
+        assert self.gate.wait(10), "test gate never opened"
+        return super().execute_circuit(circuit, shots, seed, memory)
+
+
+class ExplodingBackend(Backend):
+    def __init__(self) -> None:
+        super().__init__(name="exploding", num_qubits=8)
+
+    def execute_circuit(self, circuit, shots, seed=None, memory=False):
+        raise SimulationError("boom")
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = list_backends()
+        assert {"local_simulator", "fake_brisbane", "fake_falcon"} <= set(names)
+
+    def test_lookup_is_memoised(self):
+        assert get_backend("fake_brisbane") is get_backend("fake_brisbane")
+
+    def test_aliases_resolve_to_same_instance(self):
+        assert get_backend("brisbane") is get_backend("fake_brisbane")
+        assert get_backend("ideal") is get_backend("local_simulator")
+        assert get_backend("falcon") is get_backend("fake_falcon")
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_backend("Fake_Brisbane") is get_backend("fake_brisbane")
+
+    def test_fresh_instance_bypasses_memo(self):
+        assert get_backend("local_simulator", fresh=True) is not get_backend(
+            "local_simulator"
+        )
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(BackendError, match="fake_brisbane"):
+            get_backend("fake_brisban")
+
+    def test_unknown_name_lists_registered(self):
+        with pytest.raises(BackendError, match="registered"):
+            get_backend("definitely-not-a-backend")
+
+    def test_register_factory_and_alias(self):
+        registry = BackendProvider()
+        registry.register("mine", LocalSimulator, aliases=("also-mine",))
+        assert registry.get("mine") is registry.get("also-mine")
+        assert registry.aliases_of("mine") == ["also-mine"]
+
+    def test_register_instance(self):
+        registry = BackendProvider()
+        backend = LocalSimulator()
+        registry.register("inst", backend)
+        assert registry.get("inst") is backend
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendProvider()
+        registry.register("mine", LocalSimulator)
+        with pytest.raises(BackendError, match="already registered"):
+            registry.register("mine", LocalSimulator)
+        registry.register("mine", LocalSimulator, overwrite=True)
+
+    def test_alias_collision_rejected_atomically(self):
+        registry = BackendProvider()
+        registry.register("a", LocalSimulator, aliases=("shared",))
+        with pytest.raises(BackendError):
+            registry.register("b", LocalSimulator, aliases=("fine", "shared"))
+        # The rejected registration must leave no trace behind.
+        assert "b" not in registry.names()
+        with pytest.raises(BackendError):
+            registry.resolve_name("fine")
+        registry.register("b", LocalSimulator, aliases=("fine",))
+        assert registry.get("fine") is registry.get("b")
+
+    def test_unregister(self):
+        registry = BackendProvider()
+        registry.register("gone", LocalSimulator, aliases=("bye",))
+        registry.unregister("gone")
+        with pytest.raises(BackendError):
+            registry.resolve_name("bye")
+
+    def test_global_register_backend_roundtrip(self):
+        from repro.quantum.execution import register_backend
+
+        register_backend("test-temp-backend", LocalSimulator)
+        try:
+            assert get_backend("test-temp-backend").name == "local_simulator"
+        finally:
+            provider().unregister("test-temp-backend")
+
+    def test_resolve_backend_coercions(self):
+        backend = FakeFalcon()
+        assert resolve_backend(backend) is backend
+        assert resolve_backend(None).name == "local_simulator"
+        assert resolve_backend("brisbane").name == "fake_brisbane"
+        with pytest.raises(BackendError, match="expected a Backend"):
+            resolve_backend(42)
+
+
+# ---------------------------------------------------------------------------
+# Job lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestJobLifecycle:
+    def test_queued_running_done(self):
+        backend = GatedBackend()
+        service = ExecutionService(max_workers=1)
+        try:
+            job = service.submit(bell_pair(measure=True), backend=backend, shots=20)
+            assert backend.started.wait(10)
+            assert job.status() is JobStatus.RUNNING
+            assert not job.done()
+            backend.gate.set()
+            result = job.result(timeout=10)
+            assert job.status() is JobStatus.DONE
+            assert job.done()
+            assert sum(result.get_counts().values()) == 20
+        finally:
+            backend.gate.set()
+            service.shutdown()
+
+    def test_result_timeout_raises(self):
+        backend = GatedBackend()
+        service = ExecutionService(max_workers=1)
+        try:
+            job = service.submit(bell_pair(measure=True), backend=backend, shots=10)
+            with pytest.raises(BackendError, match="did not finish"):
+                job.result(timeout=0.05)
+        finally:
+            backend.gate.set()
+            service.shutdown()
+
+    def test_cancel_queued_job(self):
+        backend = GatedBackend()
+        service = ExecutionService(max_workers=1)
+        try:
+            blocker = service.submit(
+                bell_pair(measure=True), backend=backend, shots=10
+            )
+            assert backend.started.wait(10)
+            queued = service.submit(
+                bell_pair(measure=True), backend=backend, shots=10
+            )
+            assert queued.status() is JobStatus.QUEUED
+            assert queued.cancel()
+            assert queued.status() is JobStatus.CANCELLED
+            assert queued.cancelled()
+            with pytest.raises(BackendError, match="cancelled"):
+                queued.result(timeout=1)
+            backend.gate.set()
+            blocker.result(timeout=10)
+            assert not blocker.cancel()  # terminal jobs cannot be cancelled
+        finally:
+            backend.gate.set()
+            service.shutdown()
+
+    def test_error_lifecycle(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            job = service.submit(
+                bell_pair(measure=True), backend=ExplodingBackend(), shots=10
+            )
+            job.wait(10)
+            assert job.status() is JobStatus.ERROR
+            assert isinstance(job.error(), SimulationError)
+            with pytest.raises(SimulationError, match="boom"):
+                job.result(timeout=1)
+        finally:
+            service.shutdown()
+
+    def test_job_ids_unique(self):
+        service = ExecutionService(max_workers=2)
+        try:
+            jobs = [
+                service.submit(bell_pair(measure=True), shots=10, seed=i)
+                for i in range(4)
+            ]
+            assert len({job.job_id for job in jobs}) == 4
+            for job in jobs:
+                job.result(timeout=10)
+        finally:
+            service.shutdown()
+
+    def test_submit_validates_eagerly(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            with pytest.raises(BackendError, match="shots"):
+                service.submit(bell_pair(measure=True), shots=0)
+            with pytest.raises(BackendError, match="no circuits"):
+                service.submit([])
+            with pytest.raises(BackendError, match="QuantumCircuit"):
+                service.submit("not a circuit")
+            bad = QuantumCircuit(3, 3)
+            bad.cx(0, 2)  # uncoupled pair on the falcon T topology
+            with pytest.raises(BackendError, match="transpile"):
+                service.submit(bad, backend="fake_falcon")
+        finally:
+            service.shutdown()
+
+    def test_backend_run_shim_returns_finished_job(self, simulator):
+        job = simulator.run(bell_pair(measure=True), shots=50, seed=3)
+        assert job.status() is JobStatus.DONE
+        assert job.status() == "DONE"  # legacy string comparison still works
+        assert sum(job.result().get_counts().values()) == 50
+
+
+# ---------------------------------------------------------------------------
+# Batching
+# ---------------------------------------------------------------------------
+
+
+class TestBatching:
+    def test_batch_preserves_submission_order(self):
+        service = ExecutionService(max_workers=4)
+        try:
+            tags = [5, 0, 7, 2, 6, 1]
+            circuits = [_tagged_circuit(tag) for tag in tags]
+            result = service.submit(circuits, shots=10, seed=1).result(timeout=30)
+            for index, tag in enumerate(tags):
+                expected = format(tag, "03b")
+                assert result.get_counts(index) == {expected: 10}
+        finally:
+            service.shutdown()
+
+    def test_batch_first_circuit_matches_single_run(self):
+        service = ExecutionService(max_workers=2, use_cache=False)
+        try:
+            qc = bell_pair(measure=True)
+            single = service.run(qc, shots=200, seed=11).result().get_counts()
+            batched = service.submit([qc, _tagged_circuit(1)], shots=200, seed=11)
+            assert batched.result(timeout=30).get_counts(0) == single
+        finally:
+            service.shutdown()
+
+    def test_batch_result_metadata(self):
+        service = ExecutionService(max_workers=2)
+        try:
+            job = service.submit(
+                [_tagged_circuit(1), _tagged_circuit(2)],
+                backend="local_simulator",
+                shots=10,
+                seed=2,
+            )
+            result = job.result(timeout=30)
+            assert job.num_circuits == 2
+            assert result.backend_name == "local_simulator"
+            assert result.shots == 10
+            assert result.seed == 2
+        finally:
+            service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+class TestCache:
+    def test_repeat_run_hits_cache(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            qc = bell_pair(measure=True)
+            first = service.run(qc, shots=100, seed=6).result().get_counts()
+            second = service.run(qc, shots=100, seed=6).result().get_counts()
+            assert first == second
+            stats = service.stats()
+            assert stats["simulations"] == 1
+            assert stats["cache_hits"] == 1
+            assert stats["cache_misses"] == 1
+        finally:
+            service.shutdown()
+
+    def test_submit_fully_cached_batch_skips_pool(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            circuits = [_tagged_circuit(1), _tagged_circuit(2)]
+            service.submit(circuits, shots=10, seed=3).result(timeout=30)
+            job = service.submit(circuits, shots=10, seed=3)
+            # No pool round-trip needed: the job completes inside submit().
+            assert job.status() is JobStatus.DONE
+            assert job.cache_hits == 2
+            assert service.stats()["simulations"] == 2
+        finally:
+            service.shutdown()
+
+    def test_cache_key_discriminates(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            qc = bell_pair(measure=True)
+            service.run(qc, shots=100, seed=6)
+            service.run(qc, shots=100, seed=7)      # different seed
+            service.run(qc, shots=200, seed=6)      # different shots
+            service.run(qc, shots=100, seed=6, memory=True)  # memory flag
+            assert service.stats()["simulations"] == 4
+            service.run(qc, backend="noisy", shots=100, seed=6)  # noisy backend
+            assert service.stats()["simulations"] == 5
+        finally:
+            service.shutdown()
+
+    def test_unseeded_runs_are_never_cached(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            qc = bell_pair(measure=True)
+            service.run(qc, shots=50)
+            service.run(qc, shots=50)
+            stats = service.stats()
+            assert stats["simulations"] == 2
+            assert stats["cache_hits"] == 0
+        finally:
+            service.shutdown()
+
+    def test_cached_memory_roundtrip(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            qc = bell_pair(measure=True)
+            first = service.run(qc, shots=10, seed=4, memory=True).result()
+            second = service.run(qc, shots=10, seed=4, memory=True).result()
+            assert first.get_memory() == second.get_memory()
+            assert service.stats()["cache_hits"] == 1
+        finally:
+            service.shutdown()
+
+    def test_same_seed_identical_counts_across_services(self):
+        qc = bell_pair(measure=True)
+        a = ExecutionService(max_workers=1)
+        b = ExecutionService(max_workers=1)
+        try:
+            counts_a = a.run(qc, shots=300, seed=9).result().get_counts()
+            counts_b = b.run(qc, shots=300, seed=9).result().get_counts()
+            assert counts_a == counts_b
+        finally:
+            a.shutdown()
+            b.shutdown()
+
+    def test_shim_shares_default_service_cache(self):
+        service = ExecutionService(max_workers=1)
+        set_default_service(service)
+        try:
+            qc = bell_pair(measure=True)
+            a = LocalSimulator().run(qc, shots=100, seed=5).result().get_counts()
+            b = LocalSimulator().run(qc, shots=100, seed=5).result().get_counts()
+            assert a == b
+            assert service.stats()["cache_hits"] == 1
+            assert service.stats()["simulations"] == 1
+        finally:
+            set_default_service(None)
+
+    def test_ambient_seed_makes_unseeded_runs_deterministic(self):
+        service = ExecutionService(max_workers=1)
+        try:
+            qc = bell_pair(measure=True)
+            with ambient_seed(12):
+                first = service.run(qc, shots=100).result().get_counts()
+            explicit = service.run(qc, shots=100, seed=12).result().get_counts()
+            assert first == explicit
+            assert service.stats()["cache_hits"] == 1
+        finally:
+            service.shutdown()
+
+    def test_ambient_seed_keeps_successive_runs_independent(self):
+        # Two unseeded runs inside one scope are *distinct* samples (a
+        # program averaging over repeated runs must not see clones), while
+        # replaying the scope reproduces the same sequence.
+        service = ExecutionService(max_workers=1)
+        try:
+            qc = bell_pair(measure=True)
+            with ambient_seed(12):
+                first = service.run(qc, shots=60, memory=True).result()
+                second = service.run(qc, shots=60, memory=True).result()
+            with ambient_seed(12):
+                replay = service.run(qc, shots=60, memory=True).result()
+            assert first.get_memory() != second.get_memory()
+            assert replay.get_memory() == first.get_memory()
+        finally:
+            service.shutdown()
+
+    def test_lru_eviction(self):
+        cache = ResultCache(maxsize=2)
+        service = ExecutionService(max_workers=1, cache=cache)
+        try:
+            for tag in (1, 2, 3):
+                service.run(_tagged_circuit(tag), shots=10, seed=1)
+            assert len(cache) == 2
+            service.run(_tagged_circuit(1), shots=10, seed=1)  # evicted -> miss
+            assert service.stats()["simulations"] == 4
+        finally:
+            service.shutdown()
+
+    def test_circuit_fingerprint_ignores_labels(self):
+        a = _tagged_circuit(3)
+        b = _tagged_circuit(3)
+        b.name = "renamed"
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+        assert circuit_fingerprint(a) != circuit_fingerprint(_tagged_circuit(4))
+
+
+# ---------------------------------------------------------------------------
+# Pipeline integration: repeated eval arm re-simulates nothing
+# ---------------------------------------------------------------------------
+
+
+class TestEvalIntegration:
+    def test_repeat_eval_arm_issues_zero_duplicate_simulations(self):
+        from repro.evalsuite import PipelineSettings, build_suite, evaluate
+        from repro.llm.faults import ModelConfig
+
+        service = ExecutionService(max_workers=2)
+        set_default_service(service)
+        try:
+            tasks = build_suite()[:3]
+            settings = PipelineSettings(
+                ModelConfig("3b", fine_tuned=True), samples_per_task=1
+            )
+            first = evaluate(settings, tasks)
+            second = evaluate(settings, tasks)
+            assert first.execution_stats["simulations"] > 0
+            assert second.execution_stats["simulations"] == 0
+            assert second.execution_stats["cache_hits"] > 0
+            assert second.accuracy() == first.accuracy()
+        finally:
+            set_default_service(None)
+
+    def test_sandbox_reports_simulation_counters(self):
+        from repro.agents.sandbox import run_code
+
+        code = (
+            "from repro.quantum import QuantumCircuit, LocalSimulator\n"
+            "qc = QuantumCircuit(1, 1)\n"
+            "qc.h(0)\n"
+            "qc.measure(0, 0)\n"
+            "counts = LocalSimulator().run(qc, shots=16).result().get_counts()\n"
+        )
+        service = ExecutionService(max_workers=1)
+        set_default_service(service)
+        try:
+            first = run_code(code)
+            assert first.ok
+            assert first.simulations == 1
+            second = run_code(code)  # ambient sandbox seed -> cache hit
+            assert second.simulations == 0
+            assert second.sim_cache_hits == 1
+        finally:
+            set_default_service(None)
