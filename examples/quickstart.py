@@ -66,6 +66,16 @@ def layer_3_qec() -> None:
         f"Noise suppression factor: {application.suppression_factor:.3f} "
         f"(average qubit lifetime x{application.lifetime_gain:.1f})."
     )
+    stats = default_service().stats()
+    print(
+        f"\nExecution service saw all of the above: "
+        f"{stats.get('simulations', 0)} simulations, "
+        f"{stats.get('cache_hits', 0)} cache hits — including the QEC "
+        "memory experiment, which runs on the 'qec_memory' backend.\n"
+        "Tip: set REPRO_CACHE_DIR=.repro-cache (or pass "
+        "ExecutionService(cache_dir=...)) and a second run of this script "
+        "is served from the persistent cache with zero simulations."
+    )
 
 
 if __name__ == "__main__":

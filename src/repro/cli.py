@@ -7,9 +7,13 @@ Commands
                            table1, multipass, ablations)
 ``report [path]``          regenerate EXPERIMENTS.md
 ``eval <arm>``             evaluate one pipeline arm on the test suite
-                           (arm = base | ft | rag | cot | scot | mp3)
+                           (arm = base | ft | rag | cot | scot | mp3);
+                           ``--cache-dir`` persists execution results on disk
+                           so a repeat run simulates nothing, ``--executor
+                           process`` fans simulation across worker processes
 ``demo``                   one multi-agent generation episode, verbose
 ``backends``               list registered execution backends and aliases
+``cache``                  inspect (or ``--clear``) the on-disk result cache
 """
 
 from __future__ import annotations
@@ -65,10 +69,26 @@ def _cmd_eval(args) -> int:
         execution_stats_table,
     )
     from repro.llm.faults import ModelConfig
+    from repro.quantum.execution import (
+        ExecutionService,
+        default_service,
+        set_default_service,
+    )
 
     if args.arm not in ARMS:
         print(f"unknown arm '{args.arm}'; choose from {sorted(ARMS)}")
         return 2
+    if args.cache_dir or args.executor:
+        # Rebuild the shared service with the requested persistence/executor;
+        # everything downstream (sandboxed programs, graders, QEC memory
+        # experiments) funnels through it.
+        set_default_service(
+            ExecutionService(
+                cache_dir=args.cache_dir or None,
+                executor=args.executor or "thread",
+            ),
+            shutdown_previous=True,
+        )
     settings = PipelineSettings(
         ModelConfig("3b", **ARMS[args.arm]),
         max_passes=3 if args.arm == "mp3" else 1,
@@ -80,6 +100,17 @@ def _cmd_eval(args) -> int:
     if args.exec_stats:
         print()
         print(execution_stats_table([result]).render())
+        stats = default_service().stats()
+        line = (
+            f"service totals: {stats.get('simulations', 0)} simulations, "
+            f"{stats.get('simulations_deduped', 0)} deduped, "
+            f"{stats.get('cache_hits', 0)} cache hits "
+            f"({stats.get('cache_disk_hits', 0)} from disk), "
+            f"executor={stats.get('executor', 'thread')}"
+        )
+        if "cache_dir" in stats:
+            line += f", cache_dir={stats['cache_dir']}"
+        print(line)
     return 0
 
 
@@ -121,6 +152,34 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    import os
+
+    from repro.quantum.execution import DiskResultCache
+    from repro.quantum.execution.service import CACHE_DIR_ENV
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not cache_dir:
+        print(f"no cache dir: pass --cache-dir or set {CACHE_DIR_ENV}")
+        return 2
+    if not os.path.isdir(cache_dir):
+        # Inspection must not create directories: a typo'd path should be
+        # reported, not silently materialised as an empty cache.
+        print(f"no cache at {cache_dir}: directory does not exist")
+        return 2
+    disk = DiskResultCache(cache_dir)
+    entries = len(disk)
+    if args.clear:
+        disk.clear()
+        print(f"cleared {entries} entries from {cache_dir}")
+        return 0
+    print(
+        f"execution result cache at {cache_dir}: {entries} entries, "
+        f"{disk.size_bytes()} bytes"
+    )
+    return 0
+
+
 def _cmd_backends(_args) -> int:
     from repro.quantum.execution import default_service, get_backend, provider
 
@@ -139,9 +198,15 @@ def _cmd_backends(_args) -> int:
         )
     stats = default_service().stats()
     print(
-        f"\nexecution service: {stats.get('simulations', 0)} simulations, "
+        f"\nexecution service [{stats.get('executor', 'thread')}]: "
+        f"{stats.get('simulations', 0)} simulations, "
         f"{stats.get('cache_hits', 0)} cache hits "
         f"({stats.get('cache_hit_rate', 0.0):.0%} hit rate)"
+        + (
+            f", disk cache at {stats['cache_dir']}"
+            if "cache_dir" in stats
+            else ""
+        )
     )
     return 0
 
@@ -168,6 +233,15 @@ def main(argv: list[str] | None = None) -> int:
         "--exec-stats", action="store_true", dest="exec_stats",
         help="also print ExecutionService simulation/cache counters",
     )
+    eval_parser.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="persist execution results under this directory (warm-starts "
+        "a repeat of the same arm across processes)",
+    )
+    eval_parser.add_argument(
+        "--executor", choices=("thread", "process"), default=None,
+        help="worker-pool strategy for cache misses (default: thread)",
+    )
 
     demo_parser = sub.add_parser("demo", help="one verbose generation episode")
     demo_parser.add_argument("--seed", type=int, default=0)
@@ -182,6 +256,17 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("backends", help="list registered execution backends")
 
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the on-disk execution result cache"
+    )
+    cache_parser.add_argument(
+        "--cache-dir", dest="cache_dir", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR)",
+    )
+    cache_parser.add_argument(
+        "--clear", action="store_true", help="delete every persisted entry"
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "experiments": _cmd_experiments,
@@ -190,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         "eval": _cmd_eval,
         "demo": _cmd_demo,
         "backends": _cmd_backends,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

@@ -44,7 +44,15 @@ def execution_stats_table(
 ) -> AsciiTable:
     """Per-arm simulation and result-cache counters (ExecutionService)."""
     table = AsciiTable(
-        ["Arm", "Simulations", "Cache hits", "Cache misses", "Hit rate"],
+        [
+            "Arm",
+            "Simulations",
+            "Deduped",
+            "Cache hits",
+            "Disk hits",
+            "Cache misses",
+            "Hit rate",
+        ],
         title=title,
     )
     for result in results:
@@ -56,7 +64,9 @@ def execution_stats_table(
             [
                 result.label,
                 stats.get("simulations", 0),
+                stats.get("simulations_deduped", 0),
                 hits,
+                stats.get("cache_disk_hits", 0),
                 misses,
                 f"{hits / lookups:.1%}" if lookups else "-",
             ]

@@ -185,7 +185,13 @@ def evaluate(settings: PipelineSettings, tasks: list[Task]) -> EvalResult:
     after = default_service().stats()
     execution_stats = {
         key: int(after.get(key, 0) - before.get(key, 0))
-        for key in ("simulations", "cache_hits", "cache_misses")
+        for key in (
+            "simulations",
+            "simulations_deduped",
+            "cache_hits",
+            "cache_misses",
+            "cache_disk_hits",
+        )
     }
     return EvalResult(
         label=settings.display_label(),

@@ -10,6 +10,29 @@ These drive the paper's Section V-B/V-D claims:
   the new error rate after QEC").
 * :func:`average_qubit_lifetime_gain` — the paper's "extend the average qubit
   lifetime" claim, expressed in rounds.
+
+Memory-experiment shot loops are the heaviest workload in the reproduction
+(decoder benchmarking sweeps thousands of MWPM decodes), so they are routed
+through the unified :class:`~repro.quantum.execution.service.ExecutionService`
+rather than looping inline: each experiment becomes one
+:class:`MemoryExperimentCircuit` executed on the registered ``qec_memory``
+backend, which buys
+
+* **caching** — a repeated ``logical_error_rate`` / ``threshold_sweep``
+  invocation (same code, decoder, rates, seed) is a content-addressed cache
+  hit, persisted across processes when the service has a disk tier;
+* **batching** — ``threshold_sweep`` submits every rate of a distance as
+  asynchronous jobs that fan out across the service's worker pool (real
+  parallelism under ``executor="process"``);
+* **observability** — decoder benchmarking now shows up in
+  ``service.stats()`` next to circuit simulation counters.
+
+The per-shot randomness is derived by
+:func:`repro.qec.syndrome.memory_shot_rng` exactly as the pre-service inline
+loop derived it, so routed results are bit-identical to the legacy path.
+Decoders the service cannot reconstruct in a worker process (anything other
+than the stock MWPM/union-find/lookup decoders bound to the experiment's code
+and error type) transparently fall back to the inline loop.
 """
 
 from __future__ import annotations
@@ -20,10 +43,23 @@ import numpy as np
 
 from repro.errors import QECError
 from repro.qec.codes.base import CSSCode
+from repro.qec.lookup import LookupDecoder
 from repro.qec.matching import MWPMDecoder
-from repro.qec.syndrome import sample_memory
-from repro.utils.rng import derive_rng
+from repro.qec.syndrome import memory_shot_rng, sample_memory
+from repro.qec.unionfind import UnionFindDecoder
+from repro.quantum.backend import Backend
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.execution import (
+    ExecutionService,
+    default_service,
+    list_backends,
+    register_backend,
+)
+from repro.utils.rng import derive_seed, stable_hash
 from repro.utils.stats import binomial_confidence_interval
+
+#: Registry name of the memory-experiment execution target.
+MEMORY_BACKEND = "qec_memory"
 
 
 @dataclass(frozen=True)
@@ -55,6 +91,208 @@ class MemoryExperimentResult:
         return 0.5 * (1.0 - inner ** (1.0 / self.rounds))
 
 
+# ---------------------------------------------------------------------------
+# ExecutionService routing: the memory experiment as an executable work unit
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MemoryExperimentSpec:
+    """Everything that determines a memory experiment's failure statistics.
+
+    The spec (not any live decoder object) is what travels through the
+    execution subsystem, so it must be picklable for the process-pool
+    executor and content-hashable for the result cache.
+    """
+
+    code: CSSCode
+    rounds: int
+    p_data: float
+    p_meas: float
+    error_type: str
+    decoder_kind: str
+    decoder_args: tuple[tuple[str, float | int | bool], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise QECError(
+                f"memory experiment needs >= 1 round, got {self.rounds}"
+            )
+        if not (0 <= self.p_data <= 1 and 0 <= self.p_meas <= 1):
+            raise QECError("error probabilities must be in [0, 1]")
+        if self.error_type not in ("x", "z"):
+            raise QECError(
+                f"error_type must be 'x' or 'z', got '{self.error_type}'"
+            )
+        if self.decoder_kind not in _DECODER_BUILDERS:
+            raise QECError(
+                f"unknown decoder kind '{self.decoder_kind}'; routable kinds: "
+                f"{sorted(_DECODER_BUILDERS)}"
+            )
+
+    def fingerprint(self) -> int:
+        """64-bit content hash covering the code structure and every knob."""
+        return stable_hash(
+            "qec-memory",
+            self.code.name,
+            self.code.hx.tobytes(),
+            self.code.hz.tobytes(),
+            self.code.logical_x.tobytes(),
+            self.code.logical_z.tobytes(),
+            self.rounds,
+            self.p_data,
+            self.p_meas,
+            self.error_type,
+            self.decoder_kind,
+            self.decoder_args,
+        )
+
+    def build_decoder(self):
+        """Reconstruct the decoder this spec describes."""
+        builder = _DECODER_BUILDERS[self.decoder_kind]
+        return builder(self.code, self.error_type, dict(self.decoder_args))
+
+
+_DECODER_BUILDERS = {
+    "mwpm": lambda code, error_type, kw: MWPMDecoder(code, error_type, **kw),
+    "unionfind": lambda code, error_type, kw: UnionFindDecoder(code, error_type),
+    "lookup": lambda code, error_type, kw: LookupDecoder(code, error_type, **kw),
+}
+
+
+def _classify_decoder(
+    decoder, code: CSSCode, error_type: str
+) -> tuple[str, tuple[tuple[str, float | int | bool], ...]] | None:
+    """Map a live decoder to a routable ``(kind, args)`` spec, or ``None``.
+
+    ``None`` means the ExecutionService cannot faithfully rebuild this
+    decoder in a worker (custom class, different code object, or an error
+    type other than the one it was constructed for) and the caller must use
+    the inline loop.
+    """
+    if getattr(decoder, "code", None) is not code:
+        return None
+    if getattr(decoder, "error_type", None) != error_type:
+        return None
+    if type(decoder) is MWPMDecoder:
+        return "mwpm", (("time_weight", decoder.time_weight),)
+    if type(decoder) is UnionFindDecoder:
+        return "unionfind", ()
+    if type(decoder) is LookupDecoder:
+        return "lookup", (
+            ("max_weight", decoder.max_weight),
+            ("strict", decoder.strict),
+        )
+    return None
+
+
+class MemoryExperimentCircuit(QuantumCircuit):
+    """A memory experiment disguised as an executable circuit.
+
+    The instruction stream encodes the spec fingerprint (two exactly-
+    representable 32-bit rotation angles), which is all the content-addressed
+    result cache hashes — two experiments collide exactly when their specs
+    match.  The live :class:`MemoryExperimentSpec` rides along for the
+    ``qec_memory`` backend (and pickles with the circuit for process-pool
+    workers).
+    """
+
+    def __init__(self, spec: MemoryExperimentSpec) -> None:
+        super().__init__(1, 1, name=f"qec-memory-{spec.code.name}")
+        self.spec = spec
+        fp = spec.fingerprint()
+        self.rz(float(fp >> 32), 0)
+        self.rz(float(fp & 0xFFFFFFFF), 0)
+        self.measure(0, 0)
+
+
+class MemoryExperimentBackend(Backend):
+    """Execution target that scores memory-experiment shots.
+
+    ``counts`` uses one classical bit: ``"1"`` is a logical failure (the
+    decoder's correction left the stored observable flipped), ``"0"`` a
+    success; ``memory=True`` returns the per-shot outcome bits.  The per-shot
+    RNG derivation matches the legacy inline loop exactly, so routed and
+    inline runs agree bit-for-bit.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name=MEMORY_BACKEND, num_qubits=1)
+
+    def execute_circuit(
+        self,
+        circuit: QuantumCircuit,
+        shots: int,
+        seed: int | None = None,
+        memory: bool = False,
+    ) -> tuple[dict[str, int], list[str] | None]:
+        spec = getattr(circuit, "spec", None)
+        if not isinstance(spec, MemoryExperimentSpec):
+            raise QECError(
+                f"backend '{self.name}' executes MemoryExperimentCircuit "
+                f"submissions only, got circuit '{circuit.name}'"
+            )
+        decoder = spec.build_decoder()
+        entropy = np.random.default_rng() if seed is None else None
+        bits: list[str] = []
+        failures = 0
+        for shot in range(shots):
+            if entropy is not None:
+                rng = entropy
+            else:
+                rng = memory_shot_rng(
+                    seed, spec.code, spec.rounds, spec.p_data, spec.p_meas, shot
+                )
+            history = sample_memory(
+                spec.code,
+                spec.rounds,
+                spec.p_data,
+                spec.p_meas,
+                rng,
+                spec.error_type,
+            )
+            result = decoder.decode(history)
+            residual = history.true_error ^ result.correction
+            failed = spec.code.logical_flipped(residual, spec.error_type)
+            failures += int(failed)
+            if memory:
+                bits.append("1" if failed else "0")
+        counts: dict[str, int] = {}
+        if shots - failures:
+            counts["0"] = shots - failures
+        if failures:
+            counts["1"] = failures
+        return counts, (bits if memory else None)
+
+
+if MEMORY_BACKEND not in list_backends():  # idempotent under re-import
+    register_backend(
+        MEMORY_BACKEND, MemoryExperimentBackend, aliases=("qec-memory",)
+    )
+
+
+def _inline_failures(
+    code: CSSCode,
+    decoder,
+    rounds: int,
+    p_data: float,
+    p_meas: float,
+    shots: int,
+    seed: int,
+    error_type: str,
+) -> int:
+    """Legacy shot loop for decoders the service cannot reconstruct."""
+    failures = 0
+    for shot in range(shots):
+        rng = memory_shot_rng(seed, code, rounds, p_data, p_meas, shot)
+        history = sample_memory(code, rounds, p_data, p_meas, rng, error_type)
+        result = decoder.decode(history)
+        residual = history.true_error ^ result.correction
+        if code.logical_flipped(residual, error_type):
+            failures += 1
+    return failures
+
+
 def logical_error_rate(
     code: CSSCode,
     decoder,
@@ -64,24 +302,51 @@ def logical_error_rate(
     shots: int = 200,
     seed: int = 0,
     error_type: str = "x",
+    service: ExecutionService | None = None,
 ) -> MemoryExperimentResult:
     """Score a decoder on the phenomenological memory experiment.
 
     A shot fails when (true error XOR decoder correction) flips the stored
     logical observable.  ``p_meas`` defaults to ``p_data`` (the standard
     phenomenological convention).
+
+    Stock decoders (MWPM/union-find/lookup bound to ``code`` and
+    ``error_type``) execute through the shared :class:`ExecutionService` —
+    batched, cached, and visible in ``service.stats()``; anything else falls
+    back to the equivalent inline loop.  Both paths derive per-shot RNGs
+    identically, so the choice never changes the result.
     """
     if shots < 1:
         raise QECError("memory experiment needs >= 1 shot")
     p_meas = p_data if p_meas is None else p_meas
-    failures = 0
-    for shot in range(shots):
-        rng = derive_rng(seed, "memory", code.name, rounds, p_data, p_meas, shot)
-        history = sample_memory(code, rounds, p_data, p_meas, rng, error_type)
-        result = decoder.decode(history)
-        residual = history.true_error ^ result.correction
-        if code.logical_flipped(residual, error_type):
-            failures += 1
+    routed = _classify_decoder(decoder, code, error_type)
+    if routed is None:
+        failures = _inline_failures(
+            code, decoder, rounds, p_data, p_meas, shots, seed, error_type
+        )
+    else:
+        kind, args = routed
+        spec = MemoryExperimentSpec(
+            code=code,
+            rounds=rounds,
+            p_data=p_data,
+            p_meas=p_meas,
+            error_type=error_type,
+            decoder_kind=kind,
+            decoder_args=args,
+        )
+        svc = service if service is not None else default_service()
+        counts = (
+            svc.run(
+                MemoryExperimentCircuit(spec),
+                backend=MEMORY_BACKEND,
+                shots=shots,
+                seed=seed,
+            )
+            .result()
+            .get_counts()
+        )
+        failures = counts.get("1", 0)
     return MemoryExperimentResult(
         code_name=code.name,
         decoder_name=type(decoder).__name__,
@@ -101,25 +366,77 @@ def threshold_sweep(
     shots: int = 200,
     seed: int = 0,
     decoder_factory=None,
+    p_meas: float | None = None,
+    error_type: str = "x",
+    service: ExecutionService | None = None,
 ) -> dict[int, list[tuple[float, float]]]:
     """Logical error rate vs physical rate, one series per distance.
 
     Below threshold the larger code wins; above it, loses.  Returns
     ``{distance: [(p_physical, p_logical), ...]}``.
+
+    ``p_meas`` and ``error_type`` thread through to every
+    :func:`logical_error_rate` point (``p_meas=None`` keeps the
+    phenomenological ``p_meas = p_data`` convention per point), and each
+    distance samples under its own derived seed scope, so adding or
+    reordering distances never perturbs another distance's shots.  Routable
+    decoders submit all rates of a distance as asynchronous ExecutionService
+    jobs — parallel across the worker pool, and cache-coherent with direct
+    ``logical_error_rate`` calls at the same parameters.
     """
     if decoder_factory is None:
-        decoder_factory = lambda code: MWPMDecoder(code, "x")  # noqa: E731
+        decoder_factory = lambda code: MWPMDecoder(code, error_type)  # noqa: E731
     out: dict[int, list[tuple[float, float]]] = {}
     for distance in distances:
         code = code_factory(distance)
         decoder = decoder_factory(code)
         rounds = distance if rounds_per_distance else 1
-        series = []
-        for p in physical_rates:
-            result = logical_error_rate(
-                code, decoder, rounds, p, shots=shots, seed=seed
-            )
-            series.append((p, result.logical_error_rate))
+        scoped_seed = derive_seed(seed, "threshold", distance)
+        routed = _classify_decoder(decoder, code, error_type)
+        if routed is not None:
+            kind, args = routed
+            svc = service if service is not None else default_service()
+            jobs = []
+            for p in physical_rates:
+                spec = MemoryExperimentSpec(
+                    code=code,
+                    rounds=rounds,
+                    p_data=p,
+                    p_meas=p if p_meas is None else p_meas,
+                    error_type=error_type,
+                    decoder_kind=kind,
+                    decoder_args=args,
+                )
+                jobs.append(
+                    svc.submit(
+                        MemoryExperimentCircuit(spec),
+                        backend=MEMORY_BACKEND,
+                        shots=shots,
+                        seed=scoped_seed,
+                    )
+                )
+            series = [
+                (p, job.result().get_counts().get("1", 0) / shots)
+                for p, job in zip(physical_rates, jobs)
+            ]
+        else:
+            series = [
+                (
+                    p,
+                    logical_error_rate(
+                        code,
+                        decoder,
+                        rounds,
+                        p,
+                        p_meas=p_meas,
+                        shots=shots,
+                        seed=scoped_seed,
+                        error_type=error_type,
+                        service=service,
+                    ).logical_error_rate,
+                )
+                for p in physical_rates
+            ]
         out[distance] = series
     return out
 
@@ -131,6 +448,7 @@ def qec_suppression_factor(
     rounds: int | None = None,
     shots: int = 400,
     seed: int = 0,
+    service: ExecutionService | None = None,
 ) -> float:
     """Effective noise suppression: logical rate per round / physical rate.
 
@@ -141,7 +459,9 @@ def qec_suppression_factor(
     QEC would not help.
     """
     rounds = code.distance if rounds is None else rounds
-    result = logical_error_rate(code, decoder, rounds, p_data, shots=shots, seed=seed)
+    result = logical_error_rate(
+        code, decoder, rounds, p_data, shots=shots, seed=seed, service=service
+    )
     per_round = result.logical_error_per_round
     if per_round <= 0.0:
         # No observed failure: bound by the Wilson upper limit instead of 0.
@@ -157,10 +477,13 @@ def average_qubit_lifetime_gain(
     rounds: int | None = None,
     shots: int = 400,
     seed: int = 0,
+    service: ExecutionService | None = None,
 ) -> float:
     """How many times longer the logical qubit survives vs a bare qubit.
 
     Bare qubit lifetime ~ 1/p per round; logical lifetime ~ 1/p_L per round.
     """
-    factor = qec_suppression_factor(code, decoder, p_data, rounds, shots, seed)
+    factor = qec_suppression_factor(
+        code, decoder, p_data, rounds, shots, seed, service=service
+    )
     return 1.0 / factor

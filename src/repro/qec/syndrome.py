@@ -30,6 +30,26 @@ from repro.stabilizer.tableau import StabilizerTableau
 DetectionEvent = tuple[int, int]
 
 
+def memory_shot_rng(
+    seed: int,
+    code: CSSCode,
+    rounds: int,
+    p_data: float,
+    p_meas: float,
+    shot: int,
+) -> np.random.Generator:
+    """The canonical per-shot generator of a memory experiment.
+
+    Defined once so every sampling path — the legacy inline loop in
+    :mod:`repro.qec.experiments` and the ExecutionService-routed
+    ``qec_memory`` backend — derives bit-identical shots from the same
+    ``(seed, experiment parameters, shot index)`` scope.
+    """
+    from repro.utils.rng import derive_rng
+
+    return derive_rng(seed, "memory", code.name, rounds, p_data, p_meas, shot)
+
+
 @dataclass
 class SyndromeHistory:
     """Everything a decoder (and a Figure-2 style trace) needs for one shot.

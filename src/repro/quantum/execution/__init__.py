@@ -1,16 +1,23 @@
 """``repro.quantum.execution`` — the unified circuit-execution subsystem.
 
-Three cooperating pieces (see the per-module docstrings for detail):
+Five cooperating pieces (see the per-module docstrings for detail):
 
 * :mod:`~repro.quantum.execution.registry` — a :class:`BackendProvider`
   registry of named, lazily-constructed backends
   (``get_backend("fake_brisbane")``, ``register_backend(...)``, aliases);
 * :mod:`~repro.quantum.execution.service` — the :class:`ExecutionService`
-  thread pool that accepts batched submissions and returns async
-  :class:`ExecutionJob` handles (``QUEUED -> RUNNING -> DONE/ERROR``);
+  worker pool that accepts batched submissions and returns async
+  :class:`ExecutionJob` handles (``QUEUED -> RUNNING -> DONE/ERROR``), with
+  a pluggable ``executor="thread"|"process"`` strategy and single-flight
+  deduplication of concurrent identical executions;
 * :mod:`~repro.quantum.execution.cache` — a content-addressed
   :class:`ResultCache` keyed by circuit/backend/shots/seed/noise fingerprints,
-  with hit/miss counters surfaced through ``service.stats()``.
+  with hit/miss counters surfaced through ``service.stats()``;
+* :mod:`~repro.quantum.execution.disk_cache` — the persistent
+  :class:`DiskResultCache` tier (``ExecutionService(cache_dir=...)`` /
+  ``REPRO_CACHE_DIR``) that warm-starts repeated work across processes;
+* :mod:`~repro.quantum.execution.pool` — picklable :class:`WorkUnit`\\ s and
+  the child-process worker behind the process executor.
 
 Quickstart::
 
@@ -32,7 +39,9 @@ from repro.quantum.execution.cache import (
     circuit_fingerprint,
     noise_fingerprint,
 )
+from repro.quantum.execution.disk_cache import DiskResultCache
 from repro.quantum.execution.jobs import ExecutionJob, JobStatus
+from repro.quantum.execution.pool import EXECUTOR_KINDS, WorkUnit, run_work_unit
 from repro.quantum.execution.registry import (
     BackendProvider,
     get_backend,
@@ -54,10 +63,14 @@ __all__ = [
     "CacheKey",
     "ambient_seed",
     "CacheStats",
+    "DiskResultCache",
+    "EXECUTOR_KINDS",
     "ExecutionJob",
     "ExecutionService",
     "JobStatus",
     "ResultCache",
+    "WorkUnit",
+    "run_work_unit",
     "circuit_fingerprint",
     "default_service",
     "execute",

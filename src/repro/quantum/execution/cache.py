@@ -12,6 +12,13 @@ copied on the way in and out), the store is a bounded LRU, and every lookup
 updates the hit/miss counters that the service and the evalsuite surface in
 their reports.
 
+The LRU may be layered over a persistent
+:class:`~repro.quantum.execution.disk_cache.DiskResultCache` tier: lookups
+that miss in memory consult the disk store, promote the entry back into the
+LRU, and count as hits (``CacheStats.disk_hits`` tracks the subset served
+from disk); every ``put`` writes through to both tiers.  The disk tier is
+what makes report regeneration and CI warm-started across process restarts.
+
 Executions with ``seed=None`` are inherently non-reproducible and are never
 cached (they would poison determinism guarantees).
 """
@@ -23,6 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.execution.disk_cache import DiskResultCache
 from repro.quantum.noise import NoiseModel
 from repro.utils.rng import stable_hash
 
@@ -70,10 +78,15 @@ class CacheKey:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters; snapshots are cheap value copies."""
+    """Hit/miss counters shared across cache tiers; snapshots are cheap copies.
+
+    ``disk_hits`` counts the subset of ``hits`` that were served from the
+    persistent tier (and promoted back into the in-memory LRU).
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -84,26 +97,40 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses)
+        return CacheStats(self.hits, self.misses, self.disk_hits)
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         """Counters accumulated since an ``earlier`` snapshot."""
-        return CacheStats(self.hits - earlier.hits, self.misses - earlier.misses)
+        return CacheStats(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.disk_hits - earlier.disk_hits,
+        )
 
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"hit_rate={self.hit_rate:.1%})"
+            f"disk_hits={self.disk_hits}, hit_rate={self.hit_rate:.1%})"
         )
 
 
 class ResultCache:
-    """Thread-safe bounded LRU of ``(counts, memory)`` execution outcomes."""
+    """Thread-safe bounded LRU of ``(counts, memory)`` execution outcomes.
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE) -> None:
+    When constructed with a ``disk`` tier, in-memory misses fall through to
+    the persistent store (promoting what they find), and writes go to both
+    tiers.  One :class:`CacheStats` object covers the layered whole.
+    """
+
+    def __init__(
+        self,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+        disk: DiskResultCache | None = None,
+    ) -> None:
         if maxsize <= 0:
             raise ValueError(f"cache maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
+        self.disk = disk
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._store: OrderedDict[
@@ -116,30 +143,78 @@ class ResultCache:
 
     def get(self, key: CacheKey) -> tuple[dict[str, int], list[str] | None] | None:
         """Look up one execution; counts towards hit/miss statistics."""
+        entry = self._lookup(key)
         with self._lock:
-            entry = self._store.get(key)
             if entry is None:
                 self.stats.misses += 1
                 return None
-            self._store.move_to_end(key)
             self.stats.hits += 1
-            counts, mem = entry
-            return dict(counts), (list(mem) if mem is not None else None)
+            if entry[2]:
+                self.stats.disk_hits += 1
+        counts, mem, _from_disk = entry
+        return dict(counts), (list(mem) if mem is not None else None)
+
+    def peek(self, key: CacheKey) -> tuple[dict[str, int], list[str] | None] | None:
+        """Like :meth:`get` but without touching the hit/miss counters.
+
+        Used by the service's single-flight path to re-probe for a
+        concurrently-filled entry without double-counting the lookup that was
+        already recorded at submit time.
+        """
+        entry = self._lookup(key)
+        if entry is None:
+            return None
+        counts, mem, _from_disk = entry
+        return dict(counts), (list(mem) if mem is not None else None)
+
+    def _lookup(
+        self, key: CacheKey
+    ) -> tuple[dict[str, int], list[str] | None, bool] | None:
+        """Memory tier first, then disk (promoting); no stats accounting."""
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is not None:
+                self._store.move_to_end(key)
+                return entry[0], entry[1], False
+        if self.disk is None:
+            return None
+        persisted = self.disk.get(key)  # file I/O outside the lock
+        if persisted is None:
+            return None
+        counts, mem = persisted
+        with self._lock:
+            self._insert(key, counts, mem)
+        return counts, mem, True
 
     def put(
         self, key: CacheKey, counts: dict[str, int], memory: list[str] | None
     ) -> None:
         with self._lock:
-            self._store[key] = (dict(counts), list(memory) if memory else memory)
-            self._store.move_to_end(key)
-            while len(self._store) > self.maxsize:
-                self._store.popitem(last=False)
+            self._insert(key, counts, memory)
+        if self.disk is not None:
+            self.disk.put(key, counts, memory)
+
+    def _insert(
+        self, key: CacheKey, counts: dict[str, int], memory: list[str] | None
+    ) -> None:
+        # Defensive copies on the way in: `memory == []` must store a fresh
+        # list too, never alias the caller's own object.
+        self._store[key] = (
+            dict(counts),
+            list(memory) if memory is not None else None,
+        )
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all entries (both tiers) and reset the counters."""
         with self._lock:
             self._store.clear()
             self.stats = CacheStats()
+        if self.disk is not None:
+            self.disk.clear()
 
     def __repr__(self) -> str:
-        return f"ResultCache(size={len(self)}/{self.maxsize}, {self.stats!r})"
+        disk = f", disk={self.disk!r}" if self.disk is not None else ""
+        return f"ResultCache(size={len(self)}/{self.maxsize}, {self.stats!r}{disk})"

@@ -1,0 +1,163 @@
+"""Persistent on-disk tier of the execution result cache.
+
+A :class:`DiskResultCache` stores one JSON file per cache key under a
+configurable directory, so deterministic execution results survive process
+restarts: regenerating EXPERIMENTS.md, re-running an evalsuite arm, or a CI
+job restored from ``actions/cache`` warm-start from previous runs instead of
+re-simulating.
+
+Design notes:
+
+* **content-addressed** — the file name is a BLAKE2b digest of the full
+  :class:`~repro.quantum.execution.cache.CacheKey` (circuit fingerprint,
+  backend, shots, seed, noise fingerprint, memory flag); the key itself is
+  stored inside the file and verified on read, so a digest collision or a
+  stale file can never serve the wrong counts;
+* **crash-safe writes** — entries are written to a temporary file in the
+  cache directory and atomically renamed into place, so a killed process
+  leaves at most an orphaned ``*.tmp``, never a truncated entry;
+* **corruption-tolerant reads** — unreadable, truncated, or mismatched files
+  are treated as misses and deleted best-effort, so a damaged cache degrades
+  to a cold one instead of failing executions;
+* **best-effort by construction** — I/O errors on ``put`` are swallowed: a
+  full disk must never fail a simulation that already succeeded.
+
+The tier is layered *behind* the in-memory LRU by
+:class:`~repro.quantum.execution.cache.ResultCache` (which owns the shared
+:class:`~repro.quantum.execution.cache.CacheStats`); it does not keep its own
+hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.quantum.execution.cache import CacheKey
+
+#: Schema version of on-disk entries; bump to invalidate old caches wholesale.
+ENTRY_VERSION = 1
+
+_tmp_ids = itertools.count()
+
+
+def _key_payload(key: "CacheKey") -> dict:
+    """The JSON-serialisable identity of a cache key."""
+    return {
+        "circuit": key.circuit,
+        "backend": key.backend,
+        "shots": key.shots,
+        "seed": key.seed,
+        "noise": key.noise,
+        "memory": key.memory,
+    }
+
+
+class DiskResultCache:
+    """Content-addressed JSON-per-key store of ``(counts, memory)`` results."""
+
+    def __init__(self, cache_dir: str | os.PathLike) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- addressing ----------------------------------------------------------------
+
+    def path_for(self, key: "CacheKey") -> Path:
+        """The file that holds (or would hold) this key's entry."""
+        canonical = json.dumps(_key_payload(key), sort_keys=True)
+        digest = hashlib.blake2b(
+            canonical.encode("utf-8"), digest_size=16
+        ).hexdigest()
+        return self.cache_dir / f"{digest}.json"
+
+    # -- store surface ---------------------------------------------------------------
+
+    def get(self, key: "CacheKey") -> tuple[dict[str, int], list[str] | None] | None:
+        """Read one entry; corrupted or mismatched files count as misses."""
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != ENTRY_VERSION
+            or entry.get("key") != _key_payload(key)
+            or not isinstance(entry.get("counts"), dict)
+        ):
+            self._discard(path)
+            return None
+        counts = {str(k): int(v) for k, v in entry["counts"].items()}
+        memory = entry.get("memory")
+        if memory is not None:
+            memory = [str(bit) for bit in memory]
+        return counts, memory
+
+    def put(
+        self, key: "CacheKey", counts: dict[str, int], memory: list[str] | None
+    ) -> None:
+        """Atomically persist one entry (best-effort: I/O errors are ignored)."""
+        entry = {
+            "version": ENTRY_VERSION,
+            "key": _key_payload(key),
+            "counts": {str(k): int(v) for k, v in counts.items()},
+            "memory": list(memory) if memory is not None else None,
+        }
+        path = self.path_for(key)
+        tmp = path.with_suffix(f".{os.getpid()}-{next(_tmp_ids)}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            self._discard(tmp)
+
+    # -- maintenance -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries())
+
+    def size_bytes(self) -> int:
+        """Total bytes of all persisted entries."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def clear(self) -> None:
+        """Delete every persisted entry (and any orphaned temp files)."""
+        with self._lock:
+            for path in list(self.cache_dir.glob("*.json")) + list(
+                self.cache_dir.glob("*.tmp")
+            ):
+                self._discard(path)
+
+    def _entries(self) -> list[Path]:
+        try:
+            return sorted(self.cache_dir.glob("*.json"))
+        except OSError:
+            return []
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        return f"DiskResultCache(dir='{self.cache_dir}', entries={len(self)})"

@@ -59,6 +59,10 @@ class ExecutionJob:
         self.backend_name = backend_name
         #: Circuit indices served straight from the result cache.
         self.cache_hits: int = 0
+        #: Circuit indices whose simulation was deduplicated by the service's
+        #: single-flight path (an identical execution was already in flight;
+        #: this job read its cache fill instead of re-simulating).
+        self.deduped: int = 0
         self._status = JobStatus.QUEUED
         self._result: Result | None = None
         self._error: BaseException | None = None

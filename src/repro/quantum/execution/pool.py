@@ -1,0 +1,101 @@
+"""Process-pool execution strategy: picklable work units + the child worker.
+
+Dense statevector math holds the GIL, so the default thread pool of the
+:class:`~repro.quantum.execution.service.ExecutionService` overlaps little
+real compute.  With ``ExecutionService(executor="process")`` each cache miss
+is shipped to a ``ProcessPoolExecutor`` as a :class:`WorkUnit` —
+
+    (circuit, backend_name, shots, seed, noise_fingerprint, memory)
+
+— everything picklable, nothing process-local.  The child re-resolves the
+backend *by name* from its own registry (inherited via fork, or rebuilt from
+the builtin factories) and verifies the noise fingerprint before simulating,
+so a parent-side mutation of a registered backend can never silently produce
+wrong counts.
+
+Only backends that are the registry's own memoised instance are offloadable
+(:func:`offloadable`): an anonymous instance, a mutated copy, or a
+QEC-corrected derivative cannot be reconstructed by name in the child, and
+the service transparently falls back to in-process simulation for those.
+
+Results flow back through the same ``_lookup_or_simulate`` accounting as the
+thread path, so caching, single-flight dedup, and the stats counters are
+identical under either strategy.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import NamedTuple
+
+from repro.errors import BackendError
+from repro.quantum.backend import Backend
+from repro.quantum.circuit import QuantumCircuit
+
+#: Executor strategies accepted by ``ExecutionService(executor=...)``.
+EXECUTOR_KINDS = ("thread", "process")
+
+
+class WorkUnit(NamedTuple):
+    """One circuit execution, fully described by picklable values."""
+
+    circuit: QuantumCircuit
+    backend_name: str
+    shots: int
+    seed: int | None
+    noise_fp: str
+    memory: bool
+
+
+def run_work_unit(unit: WorkUnit) -> tuple[dict[str, int], list[str] | None]:
+    """Execute one :class:`WorkUnit` in the current process (the pool child).
+
+    Module-level so it pickles by reference; resolves the backend from the
+    child's registry and cross-checks the noise fingerprint recorded by the
+    parent at submit time.
+    """
+    from repro.quantum.execution.cache import noise_fingerprint
+    from repro.quantum.execution.registry import get_backend
+
+    backend = get_backend(unit.backend_name)
+    actual_fp = noise_fingerprint(backend.noise_model)
+    if actual_fp != unit.noise_fp:
+        raise BackendError(
+            f"backend '{unit.backend_name}' in the worker process has noise "
+            f"fingerprint {actual_fp} but the submitting process recorded "
+            f"{unit.noise_fp}; refusing to simulate with mismatched noise"
+        )
+    return backend.execute_circuit(
+        unit.circuit, unit.shots, unit.seed, unit.memory
+    )
+
+
+def offloadable(backend: Backend) -> bool:
+    """Can this backend be reconstructed by name in a worker process?
+
+    True exactly when the backend *is* the registry's memoised instance for
+    its own name — the child's ``get_backend(name)`` then yields an equivalent
+    object (same factory, same noise fingerprint).
+    """
+    from repro.quantum.execution.registry import provider
+
+    try:
+        return provider().get(backend.name) is backend
+    except BackendError:
+        return False
+
+
+def make_process_pool(max_workers: int) -> ProcessPoolExecutor:
+    """A ``ProcessPoolExecutor`` for circuit work units.
+
+    Prefers the ``fork`` start method when the platform offers it, so worker
+    processes inherit the parent's backend registry (including backends
+    registered at runtime, e.g. the QEC memory-experiment target).  Raises
+    ``OSError``/``NotImplementedError`` on platforms without multiprocessing
+    support; the service catches that and falls back to threads.
+    """
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        context = multiprocessing.get_context("fork")
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)

@@ -13,7 +13,22 @@ compatibility shim) submits work here, which buys:
 * **content-addressed caching** — deterministic executions (``seed`` given)
   are keyed by circuit/backend/shots/seed/noise fingerprints, so repeated
   grading passes and re-run experiment arms skip re-simulation entirely; the
-  hit/miss counters are surfaced via :meth:`ExecutionService.stats`.
+  hit/miss counters are surfaced via :meth:`ExecutionService.stats`;
+* **a persistent cache tier** — ``ExecutionService(cache_dir=...)`` (or the
+  ``REPRO_CACHE_DIR`` environment variable for the default service) layers a
+  :class:`~repro.quantum.execution.disk_cache.DiskResultCache` behind the
+  in-memory LRU, so a second process repeating the same deterministic work
+  performs zero simulations;
+* **a pluggable executor strategy** — ``executor="thread"`` (default) keeps
+  the GIL-sharing pool; ``executor="process"`` ships cache misses to a
+  ``ProcessPoolExecutor`` as picklable work units (see
+  :mod:`~repro.quantum.execution.pool`) for real parallelism on dense
+  statevector sweeps, falling back to in-process execution for backends that
+  cannot be reconstructed by name in a child;
+* **single-flight simulation** — concurrent misses on an identical cache key
+  elect one leader to simulate while the rest wait for its cache fill
+  (``simulations_deduped`` in :meth:`ExecutionService.stats`), so a batch of
+  duplicate circuits never multiplies work.
 
 Seed semantics: circuit *i* of a batch executes with ``seed`` itself for
 ``i == 0`` and ``derive_seed(seed, "batch", i)`` afterwards.  Index 0 matches
@@ -28,9 +43,10 @@ cache, executed inline on the calling thread) or the module-level
 
 from __future__ import annotations
 
+import os
 import threading
 from collections.abc import Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 
 from repro.errors import BackendError
@@ -42,9 +58,22 @@ from repro.quantum.execution.cache import (
     circuit_fingerprint,
     noise_fingerprint,
 )
+from repro.quantum.execution.disk_cache import DiskResultCache
 from repro.quantum.execution.jobs import ExecutionJob, JobStatus
+from repro.quantum.execution.pool import (
+    EXECUTOR_KINDS,
+    WorkUnit,
+    make_process_pool,
+    offloadable,
+    run_work_unit,
+)
 from repro.quantum.execution.registry import resolve_backend
 from repro.utils.rng import derive_seed
+
+#: Environment variable that gives the *default* service a persistent cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable that picks the default service's executor strategy.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
 
 #: Upper bound on worker threads; dense statevector math releases little of
 #: the GIL, so a small pool captures most of the available overlap.
@@ -107,25 +136,48 @@ class _Batch:
 
 
 class ExecutionService:
-    """Thread-pool execution engine with a shared result cache."""
+    """Pooled execution engine with a shared (optionally persistent) cache."""
 
     def __init__(
         self,
         max_workers: int = DEFAULT_MAX_WORKERS,
         cache: ResultCache | None = None,
         use_cache: bool = True,
+        cache_dir: str | os.PathLike | None = None,
+        executor: str = "thread",
     ) -> None:
         if max_workers <= 0:
             raise BackendError(f"max_workers must be positive, got {max_workers}")
+        if executor not in EXECUTOR_KINDS:
+            raise BackendError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}"
+            )
+        if cache is not None and cache_dir is not None:
+            raise BackendError(
+                "pass either a prebuilt cache or cache_dir, not both; attach "
+                "the disk tier via ResultCache(disk=DiskResultCache(...))"
+            )
+        if cache_dir is not None and not use_cache and cache is None:
+            raise BackendError(
+                "cache_dir requires caching; drop use_cache=False to enable "
+                "the persistent tier"
+            )
         self.max_workers = max_workers
-        self.cache = cache if cache is not None else (
-            ResultCache() if use_cache else None
-        )
+        self.executor = executor
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        if cache is None and use_cache:
+            disk = DiskResultCache(cache_dir) if cache_dir is not None else None
+            cache = ResultCache(disk=disk)
+        self.cache = cache
         self._pool: ThreadPoolExecutor | None = None
+        self._process_pool: ProcessPoolExecutor | None = None
+        self._process_pool_broken = False
         self._lock = threading.Lock()
+        self._inflight: dict[CacheKey, threading.Event] = {}
         self._jobs_submitted = 0
         self._circuits_executed = 0
         self._simulations = 0
+        self._simulations_deduped = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -197,11 +249,13 @@ class ExecutionService:
         for index, qc in enumerate(batch_circuits):
             eff_seed = self._effective_seed(seed, index)
             key = self._cache_key(qc, target, shots, eff_seed, noise_fp, memory)
-            counts, mem, hit = self._lookup_or_simulate(
+            counts, mem, source = self._lookup_or_simulate(
                 target, qc, shots, eff_seed, memory, key
             )
-            if hit:
+            if source == "hit":
                 job.cache_hits += 1
+            elif source == "dedup":
+                job.deduped += 1
             counts_list.append(counts)
             memory_list.append(mem)
         self._account(len(batch_circuits))
@@ -210,13 +264,15 @@ class ExecutionService:
         )
         return job
 
-    def stats(self) -> dict[str, float | int]:
+    def stats(self) -> dict[str, float | int | str]:
         """Service-level counters, including cache hit/miss totals."""
         with self._lock:
-            out: dict[str, float | int] = {
+            out: dict[str, float | int | str] = {
                 "jobs_submitted": self._jobs_submitted,
                 "circuits_executed": self._circuits_executed,
                 "simulations": self._simulations,
+                "simulations_deduped": self._simulations_deduped,
+                "executor": self.executor,
             }
         if self.cache is not None:
             snap = self.cache.stats.snapshot()
@@ -224,15 +280,27 @@ class ExecutionService:
                 cache_hits=snap.hits,
                 cache_misses=snap.misses,
                 cache_hit_rate=snap.hit_rate,
+                cache_entries=len(self.cache),
             )
+            if self.cache.disk is not None:
+                # No disk entry count here: that is O(entries) directory I/O
+                # and stats() sits on hot paths (evaluate() polls it per arm).
+                # `repro cache` reports entry counts on demand.
+                out.update(
+                    cache_disk_hits=snap.disk_hits,
+                    cache_dir=str(self.cache.disk.cache_dir),
+                )
         return out
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the worker pool (it restarts lazily on the next submit)."""
+        """Stop the worker pools (they restart lazily on the next submit)."""
         with self._lock:
             pool, self._pool = self._pool, None
+            procs, self._process_pool = self._process_pool, None
         if pool is not None:
             pool.shutdown(wait=wait)
+        if procs is not None:
+            procs.shutdown(wait=wait)
 
     # -- internals ------------------------------------------------------------------
 
@@ -285,6 +353,18 @@ class ExecutionService:
     ) -> tuple[dict[str, int], list[str] | None]:
         with self._lock:
             self._simulations += 1
+        if self.executor == "process" and offloadable(backend):
+            pool = self._ensure_process_pool()
+            if pool is not None:
+                unit = WorkUnit(
+                    circuit=circuit,
+                    backend_name=backend.name,
+                    shots=shots,
+                    seed=eff_seed,
+                    noise_fp=noise_fingerprint(backend.noise_model),
+                    memory=memory,
+                )
+                return pool.submit(run_work_unit, unit).result()
         return backend.execute_circuit(circuit, shots, eff_seed, memory)
 
     def _lookup_or_simulate(
@@ -296,8 +376,12 @@ class ExecutionService:
         memory: bool,
         key: CacheKey | None,
         probe: bool = True,
-    ) -> tuple[dict[str, int], list[str] | None, bool]:
-        """One circuit through the cache: ``(counts, memory, was_hit)``.
+    ) -> tuple[dict[str, int], list[str] | None, str]:
+        """One circuit through the cache: ``(counts, memory, source)``.
+
+        ``source`` is ``"hit"`` (served from the cache lookup), ``"sim"``
+        (actually simulated), or ``"dedup"`` (waited on — or arrived after —
+        an identical in-flight execution and read its cache fill).
 
         The single execution path shared by the sync loop and the pool
         workers, so cache/seed semantics can never fork between them.
@@ -306,11 +390,44 @@ class ExecutionService:
         """
         cached = self.cache.get(key) if probe and key is not None else None
         if cached is not None:
-            return cached[0], cached[1], True
-        counts, mem = self._simulate(backend, circuit, shots, eff_seed, memory)
-        if key is not None:
+            return cached[0], cached[1], "hit"
+        if key is None:
+            counts, mem = self._simulate(backend, circuit, shots, eff_seed, memory)
+            return counts, mem, "sim"
+        # Single-flight: concurrent misses on one key elect a leader; the
+        # rest block on its cache fill instead of duplicating the simulation.
+        while True:
+            with self._lock:
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            event.wait()
+            filled = self.cache.peek(key)
+            if filled is not None:
+                return self._deduped(filled)
+            # The leader failed without filling the cache; compete to retry.
+        try:
+            # Re-probe silently: the key may have been filled between the
+            # submit-time miss and this worker winning leadership (e.g. a
+            # batch containing the same circuit twice on one worker thread).
+            filled = self.cache.peek(key)
+            if filled is not None:
+                return self._deduped(filled)
+            counts, mem = self._simulate(backend, circuit, shots, eff_seed, memory)
             self.cache.put(key, counts, mem)
-        return counts, mem, False
+            return counts, mem, "sim"
+        finally:
+            with self._lock:
+                event = self._inflight.pop(key)
+            event.set()
+
+    def _deduped(
+        self, entry: tuple[dict[str, int], list[str] | None]
+    ) -> tuple[dict[str, int], list[str] | None, str]:
+        with self._lock:
+            self._simulations_deduped += 1
+        return entry[0], entry[1], "dedup"
 
     def _account(self, num_circuits: int) -> None:
         with self._lock:
@@ -332,13 +449,15 @@ class ExecutionService:
         if not job._mark_running():
             return  # cancelled (or already failed) before this circuit started
         try:
-            counts, mem, _ = self._lookup_or_simulate(
+            counts, mem, source = self._lookup_or_simulate(
                 backend, circuit, shots, eff_seed, memory, key, probe=False
             )
         except BaseException as exc:  # noqa: BLE001 - relayed via job.result()
             job._mark_error(exc)
             return
         with batch.lock:
+            if source == "dedup":
+                job.deduped += 1
             batch.slots[index] = (counts, mem)
             batch.pending -= 1
             last = batch.pending == 0
@@ -371,6 +490,20 @@ class ExecutionService:
                 )
             return self._pool
 
+    def _ensure_process_pool(self) -> ProcessPoolExecutor | None:
+        """The worker-process pool, or ``None`` when the platform lacks one
+        (the caller then simulates in-process instead)."""
+        with self._lock:
+            if self._process_pool_broken:
+                return None
+            if self._process_pool is None:
+                try:
+                    self._process_pool = make_process_pool(self.max_workers)
+                except (OSError, NotImplementedError, ValueError):
+                    self._process_pool_broken = True
+                    return None
+            return self._process_pool
+
 
 # -- process-wide default service ---------------------------------------------------
 
@@ -379,19 +512,40 @@ _default_lock = threading.Lock()
 
 
 def default_service() -> ExecutionService:
-    """The shared process-wide :class:`ExecutionService` (lazily created)."""
+    """The shared process-wide :class:`ExecutionService` (lazily created).
+
+    Honours ``REPRO_CACHE_DIR`` (persistent disk cache tier) and
+    ``REPRO_EXECUTOR`` (``thread``/``process`` strategy) so headless runs —
+    CI, ``repro report``, repeated evalsuite arms — can be warm-started and
+    parallelised without touching call sites.  Explicitly constructed
+    services ignore the environment.
+    """
     global _default
     with _default_lock:
         if _default is None:
-            _default = ExecutionService()
+            cache_dir = os.environ.get(CACHE_DIR_ENV, "").strip() or None
+            executor = (
+                os.environ.get(EXECUTOR_ENV, "").strip().lower() or "thread"
+            )
+            _default = ExecutionService(cache_dir=cache_dir, executor=executor)
         return _default
 
 
-def set_default_service(service: ExecutionService | None) -> None:
-    """Replace the shared service (``None`` resets to a fresh default)."""
+def set_default_service(
+    service: ExecutionService | None, shutdown_previous: bool = False
+) -> None:
+    """Replace the shared service (``None`` resets to a fresh default).
+
+    ``shutdown_previous=True`` also stops the displaced service's worker
+    pools — for callers that permanently retire it (e.g. the CLI swapping in
+    a configured service).  The default leaves the previous instance running,
+    so tests can swap services in and out and restore them afterwards.
+    """
     global _default
     with _default_lock:
-        _default = service
+        previous, _default = _default, service
+    if shutdown_previous and previous is not None and previous is not service:
+        previous.shutdown()
 
 
 def execute(

@@ -445,6 +445,136 @@ class TestCache:
 
 
 # ---------------------------------------------------------------------------
+# Single-flight deduplication
+# ---------------------------------------------------------------------------
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_jobs_simulate_once(self):
+        """Regression: two in-flight jobs with one cache key used to both
+        simulate; the second must wait for the first's cache fill."""
+        backend = GatedBackend()
+        service = ExecutionService(max_workers=2)
+        try:
+            qc = bell_pair(measure=True)
+            first = service.submit(qc, backend=backend, shots=30, seed=5)
+            second = service.submit(qc, backend=backend, shots=30, seed=5)
+            assert backend.started.wait(10)
+            backend.gate.set()
+            counts_a = first.result(timeout=30).get_counts()
+            counts_b = second.result(timeout=30).get_counts()
+            assert counts_a == counts_b
+            stats = service.stats()
+            assert stats["simulations"] == 1
+            assert stats["simulations_deduped"] == 1
+            assert first.deduped + second.deduped == 1
+        finally:
+            backend.gate.set()
+            service.shutdown()
+
+    def test_dedup_preserves_memory_payload(self):
+        backend = GatedBackend()
+        service = ExecutionService(max_workers=2)
+        try:
+            qc = bell_pair(measure=True)
+            jobs = [
+                service.submit(qc, backend=backend, shots=10, seed=2, memory=True)
+                for _ in range(2)
+            ]
+            assert backend.started.wait(10)
+            backend.gate.set()
+            memories = [job.result(timeout=30).get_memory() for job in jobs]
+            assert memories[0] == memories[1]
+            assert service.stats()["simulations"] == 1
+        finally:
+            backend.gate.set()
+            service.shutdown()
+
+    def test_failed_leader_lets_followers_retry(self):
+        service = ExecutionService(max_workers=2)
+        try:
+            qc = bell_pair(measure=True)
+            job = service.submit(qc, backend=ExplodingBackend(), shots=10, seed=1)
+            with pytest.raises(SimulationError):
+                job.result(timeout=10)
+            # The key must not be stuck in the in-flight table: a later run
+            # of the same key on a working backend succeeds.
+            ok = service.run(qc, shots=10, seed=1).result()
+            assert sum(ok.get_counts().values()) == 10
+        finally:
+            service.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Executor strategies
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorStrategies:
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(BackendError, match="executor"):
+            ExecutionService(executor="goroutines")
+
+    def test_thread_process_result_parity(self):
+        qc = bell_pair(measure=True)
+        threads = ExecutionService(max_workers=2, executor="thread")
+        processes = ExecutionService(max_workers=2, executor="process")
+        try:
+            a = threads.run(qc, backend="noisy", shots=200, seed=9).result()
+            b = processes.run(qc, backend="noisy", shots=200, seed=9).result()
+            assert a.get_counts() == b.get_counts()
+            assert threads.stats()["executor"] == "thread"
+            assert processes.stats()["executor"] == "process"
+        finally:
+            threads.shutdown()
+            processes.shutdown()
+
+    def test_process_batch_parity_with_memory(self):
+        circuits = [_tagged_circuit(tag) for tag in (3, 1, 6)]
+        threads = ExecutionService(max_workers=2, executor="thread")
+        processes = ExecutionService(max_workers=2, executor="process")
+        try:
+            a = threads.submit(
+                circuits, shots=20, seed=4, memory=True
+            ).result(timeout=60)
+            b = processes.submit(
+                circuits, shots=20, seed=4, memory=True
+            ).result(timeout=60)
+            for index in range(len(circuits)):
+                assert a.get_counts(index) == b.get_counts(index)
+                assert a.get_memory(index) == b.get_memory(index)
+        finally:
+            threads.shutdown()
+            processes.shutdown()
+
+    def test_unregistered_backend_falls_back_inline(self):
+        """Backends the child cannot rebuild by name run in-process."""
+        backend = GatedBackend()
+        backend.gate.set()
+        service = ExecutionService(max_workers=2, executor="process")
+        try:
+            job = service.submit(
+                bell_pair(measure=True), backend=backend, shots=25, seed=1
+            )
+            assert sum(job.result(timeout=30).get_counts().values()) == 25
+        finally:
+            service.shutdown()
+
+    def test_process_executor_shares_cache(self):
+        service = ExecutionService(max_workers=2, executor="process")
+        try:
+            qc = bell_pair(measure=True)
+            first = service.run(qc, shots=50, seed=8).result().get_counts()
+            second = service.run(qc, shots=50, seed=8).result().get_counts()
+            assert first == second
+            stats = service.stats()
+            assert stats["simulations"] == 1
+            assert stats["cache_hits"] == 1
+        finally:
+            service.shutdown()
+
+
+# ---------------------------------------------------------------------------
 # Pipeline integration: repeated eval arm re-simulates nothing
 # ---------------------------------------------------------------------------
 

@@ -32,6 +32,54 @@ def test_demo_runs(capsys):
     assert "generated program" in out
 
 
+def test_eval_cache_dir_warm_starts_second_run(tmp_path, capsys):
+    from repro.quantum.execution import set_default_service
+
+    cache_dir = str(tmp_path / "exec-cache")
+    try:
+        assert main(
+            ["eval", "ft", "--samples", "1", "--cache-dir", cache_dir,
+             "--exec-stats"]
+        ) == 0
+        capsys.readouterr()
+        # Second invocation replaces the default service (fresh counters, a
+        # process restart stand-in); everything must come from the disk tier.
+        assert main(
+            ["eval", "ft", "--samples", "1", "--cache-dir", cache_dir,
+             "--exec-stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "service totals: 0 simulations" in out
+        assert f"cache_dir={cache_dir}" in out
+    finally:
+        set_default_service(None)
+
+
+def test_cache_command_reports_and_clears(tmp_path, capsys):
+    cache_dir = str(tmp_path / "exec-cache")
+    # Inspecting a nonexistent dir is an error, not a silent empty cache.
+    assert main(["cache", "--cache-dir", cache_dir]) == 2
+    assert "does not exist" in capsys.readouterr().out
+
+    from repro.quantum.execution import ExecutionService
+    from repro.quantum.library import bell_pair
+
+    service = ExecutionService(max_workers=1, cache_dir=cache_dir)
+    service.run(bell_pair(measure=True), shots=10, seed=1)
+    service.shutdown()
+
+    assert main(["cache", "--cache-dir", cache_dir]) == 0
+    assert "1 entries" in capsys.readouterr().out
+    assert main(["cache", "--cache-dir", cache_dir, "--clear"]) == 0
+    assert "cleared 1 entries" in capsys.readouterr().out
+
+
+def test_cache_command_without_dir(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache"]) == 2
+    assert "REPRO_CACHE_DIR" in capsys.readouterr().out
+
+
 def test_arms_cover_figure3():
     assert set(ARMS) == {"base", "ft", "rag", "cot", "scot", "mp3"}
 
