@@ -9,11 +9,17 @@ Commands
 ``eval <arm>``             evaluate one pipeline arm on the test suite
                            (arm = base | ft | rag | cot | scot | mp3);
                            ``--cache-dir`` persists execution results on disk
-                           so a repeat run simulates nothing, ``--executor
-                           process`` fans simulation across worker processes
+                           so a repeat run simulates nothing, ``--remote-cache
+                           URL`` shares a warm store across machines,
+                           ``--executor process`` fans simulation across
+                           worker processes
 ``demo``                   one multi-agent generation episode, verbose
 ``backends``               list registered execution backends and aliases
-``cache``                  inspect (or ``--clear``) the on-disk result cache
+``cache``                  inspect, ``--clear``, or ``--prune`` (with
+                           ``--max-bytes/--max-entries/--max-age`` bounds)
+                           the on-disk result cache
+``cache-server``           serve a cache directory over HTTP so a fleet of
+                           workers shares one warm store
 """
 
 from __future__ import annotations
@@ -78,13 +84,20 @@ def _cmd_eval(args) -> int:
     if args.arm not in ARMS:
         print(f"unknown arm '{args.arm}'; choose from {sorted(ARMS)}")
         return 2
-    if args.cache_dir or args.executor:
+    if args.cache_dir or args.remote_cache or args.executor:
         # Rebuild the shared service with the requested persistence/executor;
         # everything downstream (sandboxed programs, graders, QEC memory
-        # experiments) funnels through it.
+        # experiments) funnels through it.  The REPRO_CACHE_MAX_* bounds
+        # apply here exactly as they do to the env-built default service.
+        from repro.quantum.execution import CacheLimits
+
         set_default_service(
             ExecutionService(
                 cache_dir=args.cache_dir or None,
+                cache_limits=(
+                    CacheLimits.from_env() if args.cache_dir else None
+                ),
+                remote_url=args.remote_cache or None,
                 executor=args.executor or "thread",
             ),
             shutdown_previous=True,
@@ -105,11 +118,18 @@ def _cmd_eval(args) -> int:
             f"service totals: {stats.get('simulations', 0)} simulations, "
             f"{stats.get('simulations_deduped', 0)} deduped, "
             f"{stats.get('cache_hits', 0)} cache hits "
-            f"({stats.get('cache_disk_hits', 0)} from disk), "
+            f"({stats.get('cache_disk_hits', 0)} from disk, "
+            f"{stats.get('cache_remote_hits', 0)} from remote), "
             f"executor={stats.get('executor', 'thread')}"
         )
         if "cache_dir" in stats:
             line += f", cache_dir={stats['cache_dir']}"
+            if stats.get("cache_evictions"):
+                line += f" ({stats['cache_evictions']} evictions)"
+        if "cache_url" in stats:
+            line += f", cache_url={stats['cache_url']}"
+            if stats.get("cache_remote_errors"):
+                line += f" ({stats['cache_remote_errors']} remote errors)"
         print(line)
     return 0
 
@@ -152,6 +172,20 @@ def _cmd_demo(args) -> int:
     return 0
 
 
+def _limits_from_args(args):
+    """A CacheLimits from --max-* flags, falling back to the environment."""
+    from repro.quantum.execution import CacheLimits
+
+    kwargs = {}
+    if getattr(args, "max_bytes", None) is not None:
+        kwargs["max_bytes"] = args.max_bytes
+    if getattr(args, "max_entries", None) is not None:
+        kwargs["max_entries"] = args.max_entries
+    if getattr(args, "max_age", None) is not None:
+        kwargs["max_age_seconds"] = args.max_age
+    return CacheLimits(**kwargs) if kwargs else CacheLimits.from_env()
+
+
 def _cmd_cache(args) -> int:
     import os
 
@@ -173,10 +207,54 @@ def _cmd_cache(args) -> int:
         disk.clear()
         print(f"cleared {entries} entries from {cache_dir}")
         return 0
+    if args.prune:
+        limits = _limits_from_args(args)
+        if limits is None or not limits.bounded:
+            print(
+                "nothing to prune against: pass --max-bytes/--max-entries/"
+                "--max-age or set REPRO_CACHE_MAX_BYTES/_MAX_ENTRIES/_MAX_AGE"
+            )
+            return 2
+        evicted = disk.prune(limits)
+        print(
+            f"pruned {evicted} of {entries} entries from {cache_dir}: "
+            f"{len(disk)} entries, {disk.size_bytes()} bytes remain"
+        )
+        return 0
     print(
         f"execution result cache at {cache_dir}: {entries} entries, "
         f"{disk.size_bytes()} bytes"
     )
+    return 0
+
+
+def _cmd_cache_server(args) -> int:
+    import os
+
+    from repro.quantum.execution import CacheServer
+    from repro.quantum.execution.service import CACHE_DIR_ENV
+
+    cache_dir = args.dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    if not cache_dir:
+        print(f"no cache dir: pass --dir or set {CACHE_DIR_ENV}")
+        return 2
+    limits = _limits_from_args(args)
+    server = CacheServer(
+        cache_dir, host=args.host, port=args.port, limits=limits, quiet=False
+    )
+    print(
+        f"serving execution result cache {cache_dir} "
+        f"({len(server.disk)} entries) at {server.url}"
+        + (f" with limits {limits}" if limits is not None else "")
+    )
+    print("point workers at it:  repro eval <arm> --remote-cache "
+          f"{server.url}   (or REPRO_CACHE_URL={server.url})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
     return 0
 
 
@@ -239,6 +317,11 @@ def main(argv: list[str] | None = None) -> int:
         "a repeat of the same arm across processes)",
     )
     eval_parser.add_argument(
+        "--remote-cache", dest="remote_cache", default=None, metavar="URL",
+        help="share execution results with a 'repro cache-server' at this "
+        "URL (a cold worker pointed at a warm server simulates nothing)",
+    )
+    eval_parser.add_argument(
         "--executor", choices=("thread", "process"), default=None,
         help="worker-pool strategy for cache misses (default: thread)",
     )
@@ -257,7 +340,8 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("backends", help="list registered execution backends")
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the on-disk execution result cache"
+        "cache",
+        help="inspect, clear, or prune the on-disk execution result cache",
     )
     cache_parser.add_argument(
         "--cache-dir", dest="cache_dir", default=None,
@@ -266,6 +350,37 @@ def main(argv: list[str] | None = None) -> int:
     cache_parser.add_argument(
         "--clear", action="store_true", help="delete every persisted entry"
     )
+    cache_parser.add_argument(
+        "--prune", action="store_true",
+        help="evict least-recently-used entries until the --max-* bounds "
+        "(or their REPRO_CACHE_MAX_* equivalents) are satisfied",
+    )
+    server_parser = sub.add_parser(
+        "cache-server",
+        help="serve a cache directory over HTTP for a fleet of workers",
+    )
+    server_parser.add_argument(
+        "--dir", default=None,
+        help="cache directory to serve (default: $REPRO_CACHE_DIR)",
+    )
+    server_parser.add_argument("--host", default="127.0.0.1")
+    server_parser.add_argument(
+        "--port", type=int, default=8750,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    for bounded in (cache_parser, server_parser):
+        bounded.add_argument(
+            "--max-bytes", dest="max_bytes", type=int, default=None,
+            help="byte budget for the store (LRU eviction)",
+        )
+        bounded.add_argument(
+            "--max-entries", dest="max_entries", type=int, default=None,
+            help="entry-count budget for the store",
+        )
+        bounded.add_argument(
+            "--max-age", dest="max_age", type=float, default=None,
+            help="evict entries idle for more than this many seconds",
+        )
 
     args = parser.parse_args(argv)
     handlers = {
@@ -276,6 +391,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "backends": _cmd_backends,
         "cache": _cmd_cache,
+        "cache-server": _cmd_cache_server,
     }
     return handlers[args.command](args)
 

@@ -50,6 +50,7 @@ def execution_stats_table(
             "Deduped",
             "Cache hits",
             "Disk hits",
+            "Remote hits",
             "Cache misses",
             "Hit rate",
         ],
@@ -67,6 +68,7 @@ def execution_stats_table(
                 stats.get("simulations_deduped", 0),
                 hits,
                 stats.get("cache_disk_hits", 0),
+                stats.get("cache_remote_hits", 0),
                 misses,
                 f"{hits / lookups:.1%}" if lookups else "-",
             ]

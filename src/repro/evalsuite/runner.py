@@ -191,6 +191,8 @@ def evaluate(settings: PipelineSettings, tasks: list[Task]) -> EvalResult:
             "cache_hits",
             "cache_misses",
             "cache_disk_hits",
+            "cache_remote_hits",
+            "cache_evictions",
         )
     }
     return EvalResult(

@@ -15,7 +15,15 @@ Five cooperating pieces (see the per-module docstrings for detail):
   with hit/miss counters surfaced through ``service.stats()``;
 * :mod:`~repro.quantum.execution.disk_cache` — the persistent
   :class:`DiskResultCache` tier (``ExecutionService(cache_dir=...)`` /
-  ``REPRO_CACHE_DIR``) that warm-starts repeated work across processes;
+  ``REPRO_CACHE_DIR``) that warm-starts repeated work across processes,
+  bounded by a :class:`CacheLimits` retention policy
+  (``cache_limits=...`` / ``REPRO_CACHE_MAX_BYTES``, enforced on every
+  write and via ``repro cache --prune``);
+* :mod:`~repro.quantum.execution.remote_cache` — the shared HTTP tier: a
+  stdlib :class:`CacheServer` (``repro cache-server``) plus the
+  :class:`RemoteResultCache` client (``ExecutionService(remote_url=...)`` /
+  ``REPRO_CACHE_URL``) that lets a fleet of workers on different machines
+  share one warm store;
 * :mod:`~repro.quantum.execution.pool` — picklable :class:`WorkUnit`\\ s and
   the child-process worker behind the process executor.
 
@@ -39,9 +47,10 @@ from repro.quantum.execution.cache import (
     circuit_fingerprint,
     noise_fingerprint,
 )
-from repro.quantum.execution.disk_cache import DiskResultCache
+from repro.quantum.execution.disk_cache import CacheLimits, DiskResultCache
 from repro.quantum.execution.jobs import ExecutionJob, JobStatus
 from repro.quantum.execution.pool import EXECUTOR_KINDS, WorkUnit, run_work_unit
+from repro.quantum.execution.remote_cache import CacheServer, RemoteResultCache
 from repro.quantum.execution.registry import (
     BackendProvider,
     get_backend,
@@ -61,9 +70,12 @@ from repro.quantum.execution.service import (
 __all__ = [
     "BackendProvider",
     "CacheKey",
+    "CacheLimits",
+    "CacheServer",
     "ambient_seed",
     "CacheStats",
     "DiskResultCache",
+    "RemoteResultCache",
     "EXECUTOR_KINDS",
     "ExecutionJob",
     "ExecutionService",

@@ -13,11 +13,14 @@ updates the hit/miss counters that the service and the evalsuite surface in
 their reports.
 
 The LRU may be layered over a persistent
-:class:`~repro.quantum.execution.disk_cache.DiskResultCache` tier: lookups
-that miss in memory consult the disk store, promote the entry back into the
-LRU, and count as hits (``CacheStats.disk_hits`` tracks the subset served
-from disk); every ``put`` writes through to both tiers.  The disk tier is
-what makes report regeneration and CI warm-started across process restarts.
+:class:`~repro.quantum.execution.disk_cache.DiskResultCache` tier and a
+shared :class:`~repro.quantum.execution.remote_cache.RemoteResultCache`
+tier: lookups that miss in memory consult the disk store, then the remote
+server, promote what they find into every faster tier, and count as hits
+(``CacheStats.disk_hits`` / ``remote_hits`` track the serving tier); every
+``put`` writes through to all tiers.  The disk tier is what makes report
+regeneration and CI warm-started across process restarts; the remote tier is
+what lets a fleet of workers on different machines share one warm store.
 
 Executions with ``seed=None`` are inherently non-reproducible and are never
 cached (they would poison determinism guarantees).
@@ -31,6 +34,7 @@ from dataclasses import dataclass
 
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.execution.disk_cache import DiskResultCache
+from repro.quantum.execution.remote_cache import RemoteResultCache
 from repro.quantum.noise import NoiseModel
 from repro.utils.rng import stable_hash
 
@@ -81,12 +85,15 @@ class CacheStats:
     """Hit/miss counters shared across cache tiers; snapshots are cheap copies.
 
     ``disk_hits`` counts the subset of ``hits`` that were served from the
-    persistent tier (and promoted back into the in-memory LRU).
+    persistent tier (and promoted back into the in-memory LRU);
+    ``remote_hits`` the subset downloaded from a shared cache server (and
+    promoted into both local tiers).
     """
 
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
+    remote_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -97,7 +104,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
-        return CacheStats(self.hits, self.misses, self.disk_hits)
+        return CacheStats(self.hits, self.misses, self.disk_hits, self.remote_hits)
 
     def delta(self, earlier: "CacheStats") -> "CacheStats":
         """Counters accumulated since an ``earlier`` snapshot."""
@@ -105,32 +112,37 @@ class CacheStats:
             self.hits - earlier.hits,
             self.misses - earlier.misses,
             self.disk_hits - earlier.disk_hits,
+            self.remote_hits - earlier.remote_hits,
         )
 
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"disk_hits={self.disk_hits}, hit_rate={self.hit_rate:.1%})"
+            f"disk_hits={self.disk_hits}, remote_hits={self.remote_hits}, "
+            f"hit_rate={self.hit_rate:.1%})"
         )
 
 
 class ResultCache:
     """Thread-safe bounded LRU of ``(counts, memory)`` execution outcomes.
 
-    When constructed with a ``disk`` tier, in-memory misses fall through to
-    the persistent store (promoting what they find), and writes go to both
-    tiers.  One :class:`CacheStats` object covers the layered whole.
+    When constructed with a ``disk`` and/or ``remote`` tier, in-memory
+    misses fall through to the persistent store, then to the shared cache
+    server (promoting what they find into every faster tier), and writes go
+    to all tiers.  One :class:`CacheStats` object covers the layered whole.
     """
 
     def __init__(
         self,
         maxsize: int = DEFAULT_CACHE_SIZE,
         disk: DiskResultCache | None = None,
+        remote: RemoteResultCache | None = None,
     ) -> None:
         if maxsize <= 0:
             raise ValueError(f"cache maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self.disk = disk
+        self.remote = remote
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._store: OrderedDict[
@@ -149,9 +161,11 @@ class ResultCache:
                 self.stats.misses += 1
                 return None
             self.stats.hits += 1
-            if entry[2]:
+            if entry[2] == "disk":
                 self.stats.disk_hits += 1
-        counts, mem, _from_disk = entry
+            elif entry[2] == "remote":
+                self.stats.remote_hits += 1
+        counts, mem, _tier = entry
         return dict(counts), (list(mem) if mem is not None else None)
 
     def peek(self, key: CacheKey) -> tuple[dict[str, int], list[str] | None] | None:
@@ -164,27 +178,37 @@ class ResultCache:
         entry = self._lookup(key)
         if entry is None:
             return None
-        counts, mem, _from_disk = entry
+        counts, mem, _tier = entry
         return dict(counts), (list(mem) if mem is not None else None)
 
     def _lookup(
         self, key: CacheKey
-    ) -> tuple[dict[str, int], list[str] | None, bool] | None:
-        """Memory tier first, then disk (promoting); no stats accounting."""
+    ) -> tuple[dict[str, int], list[str] | None, str] | None:
+        """Memory tier first, then disk, then remote (each hit promotes into
+        every faster tier); no stats accounting.  The third element names the
+        serving tier: ``"memory"``, ``"disk"``, or ``"remote"``."""
         with self._lock:
             entry = self._store.get(key)
             if entry is not None:
                 self._store.move_to_end(key)
-                return entry[0], entry[1], False
-        if self.disk is None:
-            return None
-        persisted = self.disk.get(key)  # file I/O outside the lock
-        if persisted is None:
-            return None
-        counts, mem = persisted
-        with self._lock:
-            self._insert(key, counts, mem)
-        return counts, mem, True
+                return entry[0], entry[1], "memory"
+        if self.disk is not None:
+            persisted = self.disk.get(key)  # file I/O outside the lock
+            if persisted is not None:
+                counts, mem = persisted
+                with self._lock:
+                    self._insert(key, counts, mem)
+                return counts, mem, "disk"
+        if self.remote is not None:
+            downloaded = self.remote.get(key)  # network I/O outside the lock
+            if downloaded is not None:
+                counts, mem = downloaded
+                with self._lock:
+                    self._insert(key, counts, mem)
+                if self.disk is not None:
+                    self.disk.put(key, counts, mem)
+                return counts, mem, "remote"
+        return None
 
     def put(
         self, key: CacheKey, counts: dict[str, int], memory: list[str] | None
@@ -193,6 +217,8 @@ class ResultCache:
             self._insert(key, counts, memory)
         if self.disk is not None:
             self.disk.put(key, counts, memory)
+        if self.remote is not None:
+            self.remote.put(key, counts, memory)
 
     def _insert(
         self, key: CacheKey, counts: dict[str, int], memory: list[str] | None
@@ -208,7 +234,13 @@ class ResultCache:
             self._store.popitem(last=False)
 
     def clear(self) -> None:
-        """Drop all entries (both tiers) and reset the counters."""
+        """Drop all *local* entries (memory + disk) and reset the counters.
+
+        The remote tier is deliberately left untouched: it is a store shared
+        by a whole fleet, and one worker resetting its local state must not
+        cold-start everyone else (``repro cache-server`` owns its own
+        directory and can be cleared there).
+        """
         with self._lock:
             self._store.clear()
             self.stats = CacheStats()
@@ -217,4 +249,8 @@ class ResultCache:
 
     def __repr__(self) -> str:
         disk = f", disk={self.disk!r}" if self.disk is not None else ""
-        return f"ResultCache(size={len(self)}/{self.maxsize}, {self.stats!r}{disk})"
+        remote = f", remote={self.remote!r}" if self.remote is not None else ""
+        return (
+            f"ResultCache(size={len(self)}/{self.maxsize}, "
+            f"{self.stats!r}{disk}{remote})"
+        )

@@ -1,0 +1,348 @@
+"""Remote HTTP tier of the execution result cache — fleet-scale sharing.
+
+A :class:`CacheServer` exposes one content-addressed
+:class:`~repro.quantum.execution.disk_cache.DiskResultCache` directory over
+plain HTTP (stdlib ``http.server``, no dependencies), and a
+:class:`RemoteResultCache` is the matching ``urllib`` client that
+:class:`~repro.quantum.execution.cache.ResultCache` layers *behind* the
+memory and disk tiers.  A fleet of eval workers on different machines then
+shares one warm store: the first worker to execute a deterministic circuit
+pays for the simulation, every other worker — including freshly provisioned
+ones with empty local caches — downloads the counts instead.
+
+Protocol (three routes, all JSON):
+
+* ``GET /entry/<digest>``  — one entry document, exactly the bytes the disk
+  tier persists (404 on a miss);
+* ``PUT /entry/<digest>``  — upload one entry; the server decodes it,
+  re-derives the digest from the embedded key, and rejects any mismatch with
+  400, so an uploader can never plant content under a foreign address;
+* ``GET /stats``           — ``{"entries": n, "bytes": n, "evictions": n}``.
+
+Client guarantees:
+
+* **offline fallback** — every request carries a short timeout; a dead,
+  unreachable, or misbehaving server degrades to a cache *miss* (get) or a
+  silent no-op (put), never an error.  After a few consecutive failures the
+  client stops calling out for a cooldown window, so a downed server costs a
+  handful of timeouts, not one per execution;
+* **key verification on read** — downloaded entries are decoded against the
+  requested key with the same
+  :func:`~repro.quantum.execution.disk_cache.decode_entry` check the disk
+  tier applies, so a stale or corrupted server can only ever produce misses.
+
+The server may be given :class:`~repro.quantum.execution.disk_cache.CacheLimits`
+to bound its store — uploads then evict LRU entries exactly like a local put.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.quantum.execution.disk_cache import (
+    CacheLimits,
+    DiskResultCache,
+    decode_entry,
+    encode_entry,
+    key_digest,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.quantum.execution.cache import CacheKey
+
+#: Per-request timeout; cache traffic is tiny, so slow means broken.
+DEFAULT_TIMEOUT = 2.0
+#: Consecutive failures before the client declares the server offline.
+OFFLINE_AFTER = 3
+#: How long an offline server is left alone before the next probe.
+RETRY_INTERVAL = 30.0
+
+_DIGEST = re.compile(r"/entry/([0-9a-f]{32})$")
+#: Entry uploads beyond this size are rejected (a counts dict for any
+#: realistic shot budget is far smaller; this bounds server memory).
+MAX_ENTRY_BYTES = 16 * 1024 * 1024
+
+
+class RemoteResultCache:
+    """``urllib`` client for a :class:`CacheServer`; never raises on I/O."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        offline_after: int = OFFLINE_AFTER,
+        retry_interval: float = RETRY_INTERVAL,
+    ) -> None:
+        if not base_url.startswith(("http://", "https://")):
+            raise ValueError(
+                f"remote cache URL must be http(s)://, got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.offline_after = offline_after
+        self.retry_interval = retry_interval
+        self.errors = 0
+        self._consecutive = 0
+        self._offline_until = 0.0
+        self._lock = threading.Lock()
+
+    # -- store surface ---------------------------------------------------------------
+
+    def get(self, key: "CacheKey") -> tuple[dict[str, int], list[str] | None] | None:
+        """Fetch and verify one entry; any failure is a miss."""
+        if self._offline():
+            return None
+        request = urllib.request.Request(self._entry_url(key), method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read(MAX_ENTRY_BYTES + 1)
+        except urllib.error.HTTPError as exc:
+            self._record_http_status(exc.code)
+            exc.close()
+            return None
+        except (urllib.error.URLError, OSError, TimeoutError):
+            self._record_failure()
+            return None
+        self._record_success()
+        if len(body) > MAX_ENTRY_BYTES:
+            return None
+        try:
+            entry = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return decode_entry(entry, key)
+
+    def put(
+        self, key: "CacheKey", counts: dict[str, int], memory: list[str] | None
+    ) -> None:
+        """Upload one entry, best-effort; failures are swallowed."""
+        if self._offline():
+            return
+        body = json.dumps(
+            encode_entry(key, counts, memory), separators=(",", ":")
+        ).encode("utf-8")
+        request = urllib.request.Request(
+            self._entry_url(key),
+            data=body,
+            method="PUT",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                response.read()
+        except urllib.error.HTTPError as exc:
+            self._record_http_status(exc.code)
+            exc.close()
+        except (urllib.error.URLError, OSError, TimeoutError):
+            self._record_failure()
+        else:
+            self._record_success()
+
+    def stats(self) -> dict | None:
+        """The server's ``/stats`` document, or ``None`` when unreachable."""
+        try:
+            with urllib.request.urlopen(
+                f"{self.base_url}/stats", timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, TimeoutError, ValueError):
+            return None
+
+    # -- availability ----------------------------------------------------------------
+
+    def _entry_url(self, key: "CacheKey") -> str:
+        return f"{self.base_url}/entry/{key_digest(key)}"
+
+    def _offline(self) -> bool:
+        with self._lock:
+            return time.monotonic() < self._offline_until
+
+    def _record_http_status(self, code: int) -> None:
+        """4xx means the server is alive and spoke (a miss/rejection —
+        nothing to retry); 5xx means it is broken and must count towards the
+        offline breaker, or a dead proxy would cost one round-trip per
+        execution forever."""
+        if code >= 500:
+            self._record_failure()
+        else:
+            self._record_success()
+
+    def _record_success(self) -> None:
+        with self._lock:
+            self._consecutive = 0
+
+    def _record_failure(self) -> None:
+        with self._lock:
+            self.errors += 1
+            self._consecutive += 1
+            if self._consecutive >= self.offline_after:
+                self._offline_until = time.monotonic() + self.retry_interval
+
+    def __repr__(self) -> str:
+        return f"RemoteResultCache(url='{self.base_url}', errors={self.errors})"
+
+
+class _CacheRequestHandler(BaseHTTPRequestHandler):
+    """Routes ``/entry/<digest>`` and ``/stats`` onto a DiskResultCache."""
+
+    disk: DiskResultCache  # set by the per-server subclass
+    quiet = True
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/stats":
+            self._send_json(
+                200,
+                {
+                    "entries": len(self.disk),
+                    "bytes": self.disk.size_bytes(),
+                    "evictions": self.disk.evictions,
+                },
+            )
+            return
+        match = _DIGEST.search(self.path)
+        if match is None:
+            self._send_json(404, {"error": "unknown path"})
+            return
+        path = self.disk.cache_dir / f"{match.group(1)}.json"
+        try:
+            body = path.read_bytes()
+        except OSError:
+            self._send_json(404, {"error": "miss"})
+            return
+        # A download is a use: refresh the mtime so server-side LRU/age
+        # eviction spares the fleet's hottest entries, not its coldest.
+        self.disk._touch(path)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        match = _DIGEST.search(self.path)
+        if match is None:
+            self._send_json(404, {"error": "unknown path"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": "bad content-length"})
+            return
+        if not 0 < length <= MAX_ENTRY_BYTES:
+            self._send_json(400, {"error": "entry too large or empty"})
+            return
+        body = self.rfile.read(length)
+        try:
+            entry = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {"error": "not json"})
+            return
+        # Content-addressing is enforced server-side: the digest re-derived
+        # from the embedded key must match the upload path.
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("key"), dict)
+            or self._digest_of(entry) != match.group(1)
+            or not self.disk.put_entry(entry)
+        ):
+            self._send_json(400, {"error": "entry does not verify"})
+            return
+        self._send_json(200, {"stored": True})
+
+    @staticmethod
+    def _digest_of(entry: dict) -> str | None:
+        from repro.quantum.execution.cache import CacheKey
+
+        try:
+            return key_digest(CacheKey(**entry["key"]))
+        except TypeError:
+            return None
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debugging aid
+            super().log_message(format, *args)
+
+
+class CacheServer:
+    """A shared execution-result cache served over HTTP.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` /
+    ``.url``) — used by tests and by co-located fleets that publish the URL
+    out-of-band.  ``start()`` serves from a daemon thread;
+    :meth:`serve_forever` blocks (the CLI path).
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        limits: CacheLimits | None = None,
+        quiet: bool = True,
+    ) -> None:
+        self.disk = DiskResultCache(cache_dir, limits=limits)
+
+        handler = type(
+            "_BoundCacheRequestHandler",
+            (_CacheRequestHandler,),
+            {"disk": self.disk, "quiet": quiet},
+        )
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "CacheServer":
+        """Serve in a background daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-cache-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return f"CacheServer(url='{self.url}', entries={len(self.disk)})"

@@ -18,7 +18,16 @@ compatibility shim) submits work here, which buys:
   ``REPRO_CACHE_DIR`` environment variable for the default service) layers a
   :class:`~repro.quantum.execution.disk_cache.DiskResultCache` behind the
   in-memory LRU, so a second process repeating the same deterministic work
-  performs zero simulations;
+  performs zero simulations; ``cache_limits=CacheLimits(max_bytes=...,
+  max_entries=..., max_age_seconds=...)`` (or ``REPRO_CACHE_MAX_BYTES`` /
+  ``REPRO_CACHE_MAX_ENTRIES`` / ``REPRO_CACHE_MAX_AGE``) bounds that store
+  with LRU eviction enforced on every write;
+* **a shared remote tier** — ``ExecutionService(remote_url="http://...")``
+  (or ``REPRO_CACHE_URL``) layers a
+  :class:`~repro.quantum.execution.remote_cache.RemoteResultCache` behind
+  memory and disk, so a *fleet* of workers on different machines shares one
+  warm store served by ``repro cache-server``; a dead server degrades to
+  cache misses, never errors;
 * **a pluggable executor strategy** — ``executor="thread"`` (default) keeps
   the GIL-sharing pool; ``executor="process"`` ships cache misses to a
   ``ProcessPoolExecutor`` as picklable work units (see
@@ -58,7 +67,7 @@ from repro.quantum.execution.cache import (
     circuit_fingerprint,
     noise_fingerprint,
 )
-from repro.quantum.execution.disk_cache import DiskResultCache
+from repro.quantum.execution.disk_cache import CacheLimits, DiskResultCache
 from repro.quantum.execution.jobs import ExecutionJob, JobStatus
 from repro.quantum.execution.pool import (
     EXECUTOR_KINDS,
@@ -68,10 +77,13 @@ from repro.quantum.execution.pool import (
     run_work_unit,
 )
 from repro.quantum.execution.registry import resolve_backend
+from repro.quantum.execution.remote_cache import RemoteResultCache
 from repro.utils.rng import derive_seed
 
 #: Environment variable that gives the *default* service a persistent cache.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+#: Environment variable that points the default service at a cache server.
+CACHE_URL_ENV = "REPRO_CACHE_URL"
 #: Environment variable that picks the default service's executor strategy.
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 
@@ -144,6 +156,8 @@ class ExecutionService:
         cache: ResultCache | None = None,
         use_cache: bool = True,
         cache_dir: str | os.PathLike | None = None,
+        cache_limits: CacheLimits | None = None,
+        remote_url: str | None = None,
         executor: str = "thread",
     ) -> None:
         if max_workers <= 0:
@@ -152,22 +166,39 @@ class ExecutionService:
             raise BackendError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}"
             )
-        if cache is not None and cache_dir is not None:
+        if cache is not None and (
+            cache_dir is not None
+            or cache_limits is not None
+            or remote_url is not None
+        ):
             raise BackendError(
-                "pass either a prebuilt cache or cache_dir, not both; attach "
-                "the disk tier via ResultCache(disk=DiskResultCache(...))"
+                "pass either a prebuilt cache or cache_dir/cache_limits/"
+                "remote_url, not both; attach the extra tiers via "
+                "ResultCache(disk=..., remote=...)"
             )
-        if cache_dir is not None and not use_cache and cache is None:
+        if cache_limits is not None and cache_dir is None:
             raise BackendError(
-                "cache_dir requires caching; drop use_cache=False to enable "
-                "the persistent tier"
+                "cache_limits bounds the persistent tier; pass cache_dir too"
+            )
+        if (cache_dir is not None or remote_url is not None) and not use_cache:
+            raise BackendError(
+                "cache_dir/remote_url require caching; drop use_cache=False "
+                "to enable the persistent tiers"
             )
         self.max_workers = max_workers
         self.executor = executor
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self.remote_url = remote_url
         if cache is None and use_cache:
-            disk = DiskResultCache(cache_dir) if cache_dir is not None else None
-            cache = ResultCache(disk=disk)
+            disk = (
+                DiskResultCache(cache_dir, limits=cache_limits)
+                if cache_dir is not None
+                else None
+            )
+            remote = (
+                RemoteResultCache(remote_url) if remote_url is not None else None
+            )
+            cache = ResultCache(disk=disk, remote=remote)
         self.cache = cache
         self._pool: ThreadPoolExecutor | None = None
         self._process_pool: ProcessPoolExecutor | None = None
@@ -288,7 +319,14 @@ class ExecutionService:
                 # `repro cache` reports entry counts on demand.
                 out.update(
                     cache_disk_hits=snap.disk_hits,
+                    cache_evictions=self.cache.disk.evictions,
                     cache_dir=str(self.cache.disk.cache_dir),
+                )
+            if self.cache.remote is not None:
+                out.update(
+                    cache_remote_hits=snap.remote_hits,
+                    cache_remote_errors=self.cache.remote.errors,
+                    cache_url=self.cache.remote.base_url,
                 )
         return out
 
@@ -514,20 +552,30 @@ _default_lock = threading.Lock()
 def default_service() -> ExecutionService:
     """The shared process-wide :class:`ExecutionService` (lazily created).
 
-    Honours ``REPRO_CACHE_DIR`` (persistent disk cache tier) and
+    Honours ``REPRO_CACHE_DIR`` (persistent disk cache tier, bounded by
+    ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES`` /
+    ``REPRO_CACHE_MAX_AGE``), ``REPRO_CACHE_URL`` (shared remote tier) and
     ``REPRO_EXECUTOR`` (``thread``/``process`` strategy) so headless runs —
-    CI, ``repro report``, repeated evalsuite arms — can be warm-started and
-    parallelised without touching call sites.  Explicitly constructed
-    services ignore the environment.
+    CI, ``repro report``, repeated evalsuite arms, fleet workers — can be
+    warm-started and parallelised without touching call sites.  Explicitly
+    constructed services ignore the environment.
     """
     global _default
     with _default_lock:
         if _default is None:
             cache_dir = os.environ.get(CACHE_DIR_ENV, "").strip() or None
+            remote_url = os.environ.get(CACHE_URL_ENV, "").strip() or None
             executor = (
                 os.environ.get(EXECUTOR_ENV, "").strip().lower() or "thread"
             )
-            _default = ExecutionService(cache_dir=cache_dir, executor=executor)
+            _default = ExecutionService(
+                cache_dir=cache_dir,
+                cache_limits=(
+                    CacheLimits.from_env() if cache_dir is not None else None
+                ),
+                remote_url=remote_url,
+                executor=executor,
+            )
         return _default
 
 

@@ -77,6 +77,28 @@ class TestDiskResultCache:
         assert len(disk) == 0
         assert disk.get(_key(1)) is None
 
+    def test_size_bytes_tolerates_concurrent_unlink(self, tmp_path, monkeypatch):
+        """Regression: a concurrent ``clear()``/eviction may unlink a file
+        between the directory listing and the ``stat`` — the scan must skip
+        it, not raise ``FileNotFoundError``."""
+        from pathlib import Path
+
+        disk = DiskResultCache(tmp_path)
+        disk.put(_key(1), {"0": 1}, None)
+        disk.put(_key(2), {"0": 1}, None)
+        vanished = disk.path_for(_key(1))
+        survivor_size = disk.path_for(_key(2)).stat().st_size
+        real_stat = Path.stat
+
+        def racing_stat(self, **kwargs):
+            if self == vanished:
+                raise FileNotFoundError(str(self))  # unlinked mid-scan
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        assert disk.size_bytes() == survivor_size
+        assert [p for p, _, _ in disk.entry_stats()] == [disk.path_for(_key(2))]
+
 
 class TestLayeredResultCache:
     def test_disk_fallthrough_promotes_and_counts(self, tmp_path):

@@ -1,0 +1,260 @@
+"""The HTTP cache tier: server protocol, client hardening, service wiring."""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.quantum.execution import (
+    CacheKey,
+    CacheLimits,
+    CacheServer,
+    DiskResultCache,
+    ExecutionService,
+    RemoteResultCache,
+    ResultCache,
+)
+from repro.quantum.execution.disk_cache import encode_entry, key_digest
+from repro.quantum.library import bell_pair
+
+
+def _key(tag: int = 0) -> CacheKey:
+    return CacheKey(
+        circuit=f"{tag:016x}",
+        backend="local_simulator",
+        shots=64,
+        seed=7,
+        noise="ideal",
+        memory=False,
+    )
+
+
+def _dead_url() -> str:
+    """A URL nothing listens on (bind an ephemeral port, then release it)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"http://127.0.0.1:{port}"
+
+
+class TestServerProtocol:
+    def test_put_then_get_roundtrip(self, tmp_path):
+        with CacheServer(tmp_path) as server:
+            client = RemoteResultCache(server.url)
+            client.put(_key(), {"00": 40, "11": 24}, None)
+            assert client.get(_key()) == ({"00": 40, "11": 24}, None)
+            assert client.get(_key(9)) is None  # miss: 404, not an error
+            assert client.errors == 0
+
+    def test_stats_endpoint(self, tmp_path):
+        with CacheServer(tmp_path) as server:
+            client = RemoteResultCache(server.url)
+            client.put(_key(), {"0": 64}, None)
+            stats = client.stats()
+            assert stats is not None
+            assert stats["entries"] == 1
+            assert stats["bytes"] > 0
+
+    def test_unknown_path_is_404(self, tmp_path):
+        with CacheServer(tmp_path) as server:
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=2)
+            assert info.value.code == 404
+
+    def test_put_with_mismatched_digest_is_rejected(self, tmp_path):
+        """Content-addressing is enforced server-side: an entry can never be
+        planted under a digest that does not match its embedded key."""
+        with CacheServer(tmp_path) as server:
+            entry = encode_entry(_key(1), {"0": 64}, None)
+            wrong = key_digest(_key(2))
+            request = urllib.request.Request(
+                f"{server.url}/entry/{wrong}",
+                data=json.dumps(entry).encode(),
+                method="PUT",
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=2)
+            assert info.value.code == 400
+            assert len(server.disk) == 0
+
+    def test_put_with_garbage_body_is_rejected(self, tmp_path):
+        with CacheServer(tmp_path) as server:
+            request = urllib.request.Request(
+                f"{server.url}/entry/{key_digest(_key())}",
+                data=b"{ not json",
+                method="PUT",
+            )
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(request, timeout=2)
+            assert info.value.code == 400
+
+    def test_download_refreshes_server_side_lru_order(self, tmp_path):
+        """Regression: a GET must touch the entry's mtime, or server-side
+        eviction would delete the fleet's most-downloaded entries first."""
+        import os
+
+        with CacheServer(
+            tmp_path, limits=CacheLimits(max_entries=2)
+        ) as server:
+            client = RemoteResultCache(server.url)
+            client.put(_key(1), {"0": 1}, None)
+            client.put(_key(2), {"0": 2}, None)
+            old = 1_000_000_000
+            for tag in (1, 2):
+                path = tmp_path / f"{key_digest(_key(tag))}.json"
+                os.utime(path, (old + tag, old + tag))
+            # Entry 1 is older on disk but hot: the fleet keeps fetching it.
+            assert client.get(_key(1)) is not None
+            client.put(_key(3), {"0": 3}, None)  # forces one eviction
+            assert client.get(_key(1)) is not None  # hot entry survived
+            assert client.get(_key(2)) is None  # cold one was the victim
+
+    def test_server_limits_bound_the_store(self, tmp_path):
+        with CacheServer(
+            tmp_path, limits=CacheLimits(max_entries=2)
+        ) as server:
+            client = RemoteResultCache(server.url)
+            for tag in range(5):
+                client.put(_key(tag), {"0": tag}, None)
+            assert len(server.disk) <= 2
+            assert server.disk.evictions >= 3
+
+
+class TestClientHardening:
+    def test_dead_server_degrades_to_miss_never_error(self, tmp_path):
+        client = RemoteResultCache(_dead_url(), timeout=0.5)
+        assert client.get(_key()) is None
+        client.put(_key(), {"0": 64}, None)  # must not raise
+        assert client.errors == 2
+
+    def test_offline_breaker_stops_hammering_a_dead_server(self, monkeypatch):
+        attempts = []
+
+        def exploding_urlopen(*args, **kwargs):
+            attempts.append(1)
+            raise urllib.error.URLError("connection refused")
+
+        monkeypatch.setattr(urllib.request, "urlopen", exploding_urlopen)
+        client = RemoteResultCache(
+            "http://cache.invalid:1", offline_after=3, retry_interval=3600
+        )
+        for _ in range(20):
+            assert client.get(_key()) is None
+        # Only the first `offline_after` lookups went to the network; the
+        # rest were served as instant local misses.
+        assert len(attempts) == 3
+        assert client.errors == 3
+
+    def test_persistent_5xx_trips_the_breaker(self, monkeypatch):
+        """Regression: a proxy answering 502 to everything must engage the
+        offline breaker just like a dead socket — 4xx (a live server saying
+        'miss') must not."""
+        attempts = []
+
+        def bad_gateway(url, *args, **kwargs):
+            attempts.append(1)
+            target = url.full_url if hasattr(url, "full_url") else url
+            raise urllib.error.HTTPError(target, 502, "Bad Gateway", {}, None)
+
+        monkeypatch.setattr(urllib.request, "urlopen", bad_gateway)
+        client = RemoteResultCache(
+            "http://cache.invalid:1", offline_after=3, retry_interval=3600
+        )
+        for _ in range(20):
+            assert client.get(_key()) is None
+        assert len(attempts) == 3
+
+    def test_read_verification_rejects_foreign_entries(self, tmp_path):
+        """A server file whose embedded key does not match the requested key
+        (stale store, digest collision, tampering) must read as a miss."""
+        with CacheServer(tmp_path) as server:
+            client = RemoteResultCache(server.url)
+            client.put(_key(1), {"0": 64}, None)
+            # Re-address key 1's entry under key 2's digest, server-side.
+            disk = DiskResultCache(tmp_path)
+            src = disk.cache_dir / f"{key_digest(_key(1))}.json"
+            dst = disk.cache_dir / f"{key_digest(_key(2))}.json"
+            dst.write_bytes(src.read_bytes())
+            assert client.get(_key(2)) is None
+            assert client.get(_key(1)) is not None
+
+    def test_read_verification_rejects_non_json(self, tmp_path):
+        with CacheServer(tmp_path) as server:
+            client = RemoteResultCache(server.url)
+            (server.disk.cache_dir / f"{key_digest(_key())}.json").write_text(
+                "][ garbage"
+            )
+            assert client.get(_key()) is None
+
+    def test_rejects_non_http_url(self):
+        with pytest.raises(ValueError, match="http"):
+            RemoteResultCache("ftp://somewhere")
+
+
+class TestServiceWiring:
+    def test_dead_server_never_fails_execution(self):
+        service = ExecutionService(
+            max_workers=1, remote_url=_dead_url()
+        )
+        service.cache.remote.timeout = 0.5
+        counts = service.run(bell_pair(measure=True), shots=50, seed=4).result()
+        assert sum(counts.get_counts().values()) == 50
+        stats = service.stats()
+        assert stats["simulations"] == 1
+        assert stats["cache_remote_errors"] >= 1
+        assert stats["cache_url"].startswith("http://127.0.0.1")
+        service.shutdown()
+
+    def test_remote_hit_promotes_into_local_disk(self, tmp_path):
+        """A downloaded entry is written through to the local disk tier, so
+        the *next* process on this machine does not even need the network."""
+        with CacheServer(tmp_path / "server") as server:
+            seeder = ExecutionService(max_workers=1, remote_url=server.url)
+            counts = seeder.run(bell_pair(measure=True), shots=60, seed=2)
+            counts = counts.result().get_counts()
+            seeder.shutdown()
+
+            local_dir = tmp_path / "local"
+            fleet = ExecutionService(
+                max_workers=1, cache_dir=local_dir, remote_url=server.url
+            )
+            fleet.run(bell_pair(measure=True), shots=60, seed=2)
+            assert fleet.stats()["cache_remote_hits"] == 1
+            fleet.shutdown()
+
+        # Server gone; the promoted local entry still serves the result.
+        offline = ExecutionService(max_workers=1, cache_dir=local_dir)
+        replay = offline.run(bell_pair(measure=True), shots=60, seed=2).result()
+        assert replay.get_counts() == counts
+        assert offline.stats()["simulations"] == 0
+        offline.shutdown()
+
+    def test_prebuilt_cache_excludes_remote_url(self, tmp_path):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError, match="not both"):
+            ExecutionService(cache=ResultCache(), remote_url="http://x:1")
+
+    def test_cache_limits_require_cache_dir(self):
+        from repro.errors import BackendError
+
+        with pytest.raises(BackendError, match="cache_dir"):
+            ExecutionService(cache_limits=CacheLimits(max_bytes=1))
+
+    def test_default_service_honours_cache_url_env(self, tmp_path, monkeypatch):
+        from repro.quantum.execution import default_service, set_default_service
+
+        with CacheServer(tmp_path) as server:
+            monkeypatch.setenv("REPRO_CACHE_URL", server.url)
+            monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "local"))
+            monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "123456")
+            set_default_service(None)
+            try:
+                service = default_service()
+                assert service.stats()["cache_url"] == server.url
+                assert service.cache.disk.limits == CacheLimits(max_bytes=123456)
+            finally:
+                set_default_service(None)

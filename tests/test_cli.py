@@ -74,6 +74,56 @@ def test_cache_command_reports_and_clears(tmp_path, capsys):
     assert "cleared 1 entries" in capsys.readouterr().out
 
 
+def test_cache_prune_command(tmp_path, capsys):
+    from repro.quantum.execution import CacheKey, DiskResultCache
+
+    cache_dir = str(tmp_path / "exec-cache")
+    disk = DiskResultCache(cache_dir)
+    for tag in range(4):
+        disk.put(
+            CacheKey(
+                circuit=f"{tag:016x}", backend="b", shots=1, seed=1,
+                noise="ideal", memory=False,
+            ),
+            {"0": 1},
+            None,
+        )
+
+    # No bounds anywhere: refuse rather than silently prune nothing.
+    assert main(["cache", "--cache-dir", cache_dir, "--prune"]) == 2
+    assert "nothing to prune" in capsys.readouterr().out
+
+    assert main(
+        ["cache", "--cache-dir", cache_dir, "--prune", "--max-entries", "2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "pruned 2 of 4 entries" in out
+    assert len(DiskResultCache(cache_dir)) == 2
+
+
+def test_eval_remote_cache_flag_makes_second_worker_warm(tmp_path, capsys):
+    from repro.quantum.execution import CacheServer, set_default_service
+
+    with CacheServer(tmp_path / "store") as server:
+        try:
+            assert main(
+                ["eval", "ft", "--samples", "1", "--remote-cache", server.url,
+                 "--exec-stats"]
+            ) == 0
+            capsys.readouterr()
+            # Second invocation replaces the default service — a cold worker
+            # on another machine; everything must come from the server.
+            assert main(
+                ["eval", "ft", "--samples", "1", "--remote-cache", server.url,
+                 "--exec-stats"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "service totals: 0 simulations" in out
+            assert f"cache_url={server.url}" in out
+        finally:
+            set_default_service(None)
+
+
 def test_cache_command_without_dir(monkeypatch, capsys):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     assert main(["cache"]) == 2
