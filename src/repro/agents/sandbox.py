@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import builtins
 import io
+import sys
+import threading
 import traceback
-from contextlib import redirect_stdout
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.errors import SandboxError
@@ -41,6 +43,65 @@ _SAFE_BUILTIN_NAMES = (
     "AttributeError", "RuntimeError", "Exception", "ZeroDivisionError",
     "StopIteration", "NameError",
 )
+
+
+class _SandboxStdout:
+    """A ``sys.stdout`` proxy that redirects per *thread*, not per process.
+
+    ``contextlib.redirect_stdout`` swaps the process-global ``sys.stdout``,
+    so two sandboxed programs running on different threads steal each other's
+    output — and a racing restore can leave ``sys.stdout`` pointing at a
+    dead ``StringIO`` for the rest of the process.  This proxy is installed
+    once and dispatches each write to the current thread's capture buffer,
+    falling through to the real stream for threads that are not capturing.
+
+    Everything except ``write``/``flush`` is delegated to the current target
+    (deliberately not an ``io.TextIOBase`` subclass, whose own ``encoding``/
+    ``fileno``/``isatty`` definitions would shadow the real stream's), so a
+    non-capturing thread sees the genuine stdout behaviour.
+    """
+
+    def __init__(self, fallback) -> None:
+        self._fallback = fallback
+
+    @property
+    def _target(self):
+        buffer = getattr(_capture, "buffer", None)
+        return self._fallback if buffer is None else buffer
+
+    def write(self, text: str) -> int:
+        return self._target.write(text)
+
+    def flush(self) -> None:
+        target = self._target
+        if hasattr(target, "flush"):
+            target.flush()
+
+    def __getattr__(self, name):
+        return getattr(self._target, name)
+
+
+_capture = threading.local()
+_install_lock = threading.Lock()
+
+
+@contextmanager
+def _capture_stdout(buffer: io.StringIO):
+    """Capture this thread's stdout into ``buffer`` (other threads unaffected).
+
+    Lazily wraps whatever ``sys.stdout`` currently is (so it composes with
+    pytest's capture and prior redirects) and never unwraps — the proxy is
+    transparent for non-capturing threads.
+    """
+    with _install_lock:
+        if not isinstance(sys.stdout, _SandboxStdout):
+            sys.stdout = _SandboxStdout(sys.stdout)
+    previous = getattr(_capture, "buffer", None)
+    _capture.buffer = buffer
+    try:
+        yield
+    finally:
+        _capture.buffer = previous
 
 
 def _restricted_import(name, globals=None, locals=None, fromlist=(), level=0):
@@ -67,7 +128,9 @@ class ExecutionResult:
     #: Circuit simulations the program triggered (via the shared
     #: ExecutionService) and how many of those were served from the result
     #: cache — generated programs call ``backend.run`` through the shim, so
-    #: repeated identical candidates cost nothing to re-execute.
+    #: repeated identical candidates cost nothing to re-execute.  Counted by
+    #: an attributable stats scope, so the numbers are exact even while other
+    #: threads drive the same service.
     simulations: int = 0
     sim_cache_hits: int = 0
 
@@ -89,7 +152,7 @@ def run_code(
     unseeded ``backend.run`` calls the program makes (``None`` restores true
     entropy).
     """
-    from repro.quantum.execution import ambient_seed, default_service
+    from repro.quantum.execution import ambient_seed, stats_scope
 
     safe_builtins = {name: getattr(builtins, name) for name in _SAFE_BUILTIN_NAMES
                      if hasattr(builtins, name)}
@@ -99,7 +162,6 @@ def run_code(
     safe_builtins["__import__"] = _restricted_import
     namespace: dict = {"__builtins__": safe_builtins, "__name__": "__generated__"}
     buffer = io.StringIO()
-    before = default_service().stats()
     try:
         compiled = compile(code, "<generated>", "exec")
     except SyntaxError as exc:
@@ -111,7 +173,8 @@ def run_code(
             trace=trace,
         )
     try:
-        with redirect_stdout(buffer), ambient_seed(run_seed):
+        with _capture_stdout(buffer), ambient_seed(run_seed), \
+                stats_scope("sandbox") as scope:
             exec(compiled, namespace)  # noqa: S102 - the sandbox is the point
     except Exception as exc:  # noqa: BLE001 - everything must be captured
         tb_lines = traceback.format_exception_only(type(exc), exc)
@@ -128,26 +191,22 @@ def run_code(
             exception_type=type(exc).__name__,
             exception_message=str(exc),
             trace=trace,
-            **_sim_delta(before),
+            **_sim_counts(scope),
         )
     return ExecutionResult(
         ok=True,
         namespace=_strip(namespace),
         stdout=buffer.getvalue(),
-        **_sim_delta(before),
+        **_sim_counts(scope),
     )
 
 
-def _sim_delta(before: dict) -> dict:
+def _sim_counts(scope) -> dict:
     """Execution-service activity attributable to the sandboxed program."""
-    from repro.quantum.execution import default_service
-
-    after = default_service().stats()
+    counts = scope.as_dict()
     return {
-        "simulations": int(after.get("simulations", 0) - before.get("simulations", 0)),
-        "sim_cache_hits": int(
-            after.get("cache_hits", 0) - before.get("cache_hits", 0)
-        ),
+        "simulations": counts["simulations"],
+        "sim_cache_hits": counts["cache_hits"],
     }
 
 

@@ -8,6 +8,9 @@ Commands
 ``report [path]``          regenerate EXPERIMENTS.md
 ``eval <arm>``             evaluate one pipeline arm on the test suite
                            (arm = base | ft | rag | cot | scot | mp3);
+                           ``--workers N`` fans (task, sample) episodes
+                           across N worker processes — bit-identical to the
+                           serial run — with ``--progress`` showing a meter;
                            ``--cache-dir`` persists execution results on disk
                            so a repeat run simulates nothing, ``--remote-cache
                            URL`` shares a warm store across machines,
@@ -59,7 +62,7 @@ def _cmd_run(args) -> int:
 def _cmd_report(args) -> int:
     from repro.experiments.generate_report import collect, render
 
-    sections = collect(samples_per_task=args.samples)
+    sections = collect(samples_per_task=args.samples, workers=args.workers)
     with open(args.path, "w") as handle:
         handle.write(render(sections))
     print(f"wrote {args.path} ({len(sections)} sections)")
@@ -73,6 +76,7 @@ def _cmd_eval(args) -> int:
         comparison_table,
         evaluate,
         execution_stats_table,
+        progress_printer,
     )
     from repro.llm.faults import ModelConfig
     from repro.quantum.execution import (
@@ -108,7 +112,12 @@ def _cmd_eval(args) -> int:
         samples_per_task=args.samples,
         label=args.arm,
     )
-    result = evaluate(settings, build_suite())
+    result = evaluate(
+        settings,
+        build_suite(),
+        workers=args.workers,
+        progress=progress_printer(args.arm) if args.progress else None,
+    )
     print(comparison_table([result]).render())
     if args.exec_stats:
         print()
@@ -303,10 +312,25 @@ def main(argv: list[str] | None = None) -> int:
     report_parser = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     report_parser.add_argument("path", nargs="?", default="EXPERIMENTS.md")
     report_parser.add_argument("--samples", type=int, default=6)
+    report_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker-pool size for the experiment drivers (bit-identical "
+        "results for any N; default: $REPRO_EVAL_WORKERS or serial)",
+    )
 
     eval_parser = sub.add_parser("eval", help="evaluate one arm on the suite")
     eval_parser.add_argument("arm")
     eval_parser.add_argument("--samples", type=int, default=4)
+    eval_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan (task, sample) episodes across this many worker processes; "
+        "results are bit-identical to the serial run for any N "
+        "(default: $REPRO_EVAL_WORKERS or serial)",
+    )
+    eval_parser.add_argument(
+        "--progress", action="store_true",
+        help="render a live chunk-completion meter on stderr",
+    )
     eval_parser.add_argument(
         "--exec-stats", action="store_true", dest="exec_stats",
         help="also print ExecutionService simulation/cache counters",

@@ -7,12 +7,14 @@ from repro.evalsuite.reporting import (
     comparison_table,
     execution_stats_table,
     per_family_table,
+    progress_printer,
 )
 from repro.evalsuite.runner import (
     EvalResult,
     PipelineSettings,
     TaskOutcome,
     evaluate,
+    evaluate_many,
 )
 from repro.evalsuite.suite import Task, build_suite, build_task
 
@@ -27,9 +29,11 @@ __all__ = [
     "build_task",
     "comparison_table",
     "evaluate",
+    "evaluate_many",
     "execution_stats_table",
     "mean_pass_at_k",
     "pass_at_k",
     "per_family_table",
+    "progress_printer",
     "qhe_cases",
 ]

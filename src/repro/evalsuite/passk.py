@@ -27,7 +27,11 @@ def pass_at_k(num_samples: int, num_correct: int, k: int) -> float:
 
 
 def mean_pass_at_k(results: list[tuple[int, int]], k: int) -> float:
-    """Average pass@k across tasks given [(n, c), ...]."""
+    """Average pass@k across tasks given [(n, c), ...].
+
+    An empty bank yields 0.0 — consistent with ``EvalResult.accuracy()`` —
+    so reporting over a filtered-empty tier never crashes.
+    """
     if not results:
-        raise EvaluationError("no task results to aggregate")
+        return 0.0
     return sum(pass_at_k(n, c, k) for n, c in results) / len(results)

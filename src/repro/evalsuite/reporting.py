@@ -2,18 +2,58 @@
 
 from __future__ import annotations
 
+import sys
+
 from repro.evalsuite.runner import EvalResult
 from repro.utils.tables import AsciiTable, format_histogram
+
+
+def progress_printer(label: str, stream=None):
+    """A ``progress(done, total)`` callback that renders a one-line meter.
+
+    Suitable for :func:`repro.evalsuite.runner.evaluate`'s ``progress``
+    hook: writes carriage-return updates to ``stream`` (stderr by default)
+    and finishes the line when the last chunk lands.  Thread-safe in the
+    sense that the engine invokes it from the collecting thread only.
+    """
+    if stream is None:
+        stream = sys.stderr
+
+    def progress(done: int, total: int) -> None:
+        width = 24
+        filled = int(width * done / total) if total else width
+        bar = "#" * filled + "-" * (width - filled)
+        end = "\n" if done >= total else ""
+        stream.write(f"\r{label} [{bar}] {done}/{total} chunks{end}")
+        stream.flush()
+
+    return progress
 
 
 def comparison_table(
     results: list[EvalResult], title: str = "Accuracy by technique"
 ) -> AsciiTable:
-    """One row per arm: accuracy, syntactic accuracy, per-tier split."""
+    """One row per arm: accuracy, syntactic accuracy, per-tier split.
+
+    Tiers without samples render as ``-`` (no fake 0.0), and the Ungraded
+    column counts samples folded into accuracy without a semantic verdict.
+    """
     table = AsciiTable(
-        ["Arm", "Accuracy", "Syntactic", "Basic", "Intermediate", "Advanced"],
+        [
+            "Arm",
+            "Accuracy",
+            "Syntactic",
+            "Ungraded",
+            "Basic",
+            "Intermediate",
+            "Advanced",
+        ],
         title=title,
     )
+
+    def tier_cell(tiers: dict[str, float], tier: str) -> str:
+        return f"{tiers[tier]:.1%}" if tier in tiers else "-"
+
     for result in results:
         tiers = result.accuracy_by_tier()
         low, high = result.confidence_interval()
@@ -22,9 +62,10 @@ def comparison_table(
                 result.label,
                 f"{result.accuracy():.1%} [{low:.0%},{high:.0%}]",
                 f"{result.syntactic_accuracy():.1%}",
-                f"{tiers.get('basic', 0.0):.1%}",
-                f"{tiers.get('intermediate', 0.0):.1%}",
-                f"{tiers.get('advanced', 0.0):.1%}",
+                str(result.semantic_unknown_count()),
+                tier_cell(tiers, "basic"),
+                tier_cell(tiers, "intermediate"),
+                tier_cell(tiers, "advanced"),
             ]
         )
     return table

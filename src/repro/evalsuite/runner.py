@@ -1,14 +1,33 @@
-"""Evaluation runner: drive the pipeline over a task bank and aggregate.
+"""Evaluation engine: drive the pipeline over a task bank, in parallel.
 
 ``evaluate`` is the engine under Figure 3, Table I and the multi-pass sweep:
 it runs one pipeline configuration over a bank, with ``samples_per_task``
 seeds each, and returns per-task outcomes plus the aggregate metrics the
 paper reports (overall accuracy, syntactic accuracy, per-tier breakdown,
 pass@k).
+
+**Parallelism.**  Every (task, sample) episode is independent: its seed is
+derived from ``(base_seed, arm label, case id, sample index)`` alone, so
+episodes can run in any order — or concurrently — and produce bit-identical
+outcomes.  ``evaluate(..., workers=N)`` (or ``PipelineSettings.workers`` /
+``REPRO_EVAL_WORKERS``) fans per-task chunks across a worker pool:
+``fork``-based processes by default (the work is GIL-holding Python + numpy;
+children inherit the warm in-memory execution cache), with transparent
+fallback to threads and then to the inline serial loop.  ``evaluate_many``
+extends the same fan-out across *independent arms*, which is how the
+experiment drivers (Table I, Figure 3, the multi-pass sweep) run all their
+arms concurrently.
+
+**Exact stats attribution.**  Each chunk counts its execution-service
+activity in its own :class:`~repro.quantum.execution.scopes.StatsScope` and
+the engine sums the chunk scopes per arm, so ``EvalResult.execution_stats``
+is exact even when arms overlap in time — the racy before/after diff of the
+global ``service.stats()`` is gone.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.agents.codegen import CodeGenerationAgent, GenerationRequest
@@ -18,8 +37,14 @@ from repro.evalsuite.suite import Task
 from repro.llm.faults import ModelConfig
 from repro.llm.model import SimulatedCodeLLM
 from repro.prompts.generator import ScaffoldGenerator
-from repro.quantum.execution import default_service
+from repro.quantum.execution.scopes import (
+    SCOPE_FIELDS,
+    active_scopes,
+    isolated_scopes,
+    stats_scope,
+)
 from repro.rag.retriever import Retriever
+from repro.utils.parallel import parallel_map, resolve_workers
 from repro.utils.rng import derive_seed
 from repro.utils.stats import binomial_confidence_interval
 
@@ -38,6 +63,10 @@ class PipelineSettings:
     #: should see *paired* generations (e.g. the multi-pass sweep, where only
     #: the repair budget differs) share one seed_label.
     seed_label: str | None = None
+    #: Worker-pool size for this arm's episodes; ``None`` falls back to the
+    #: ``workers`` argument of :func:`evaluate`, then ``REPRO_EVAL_WORKERS``,
+    #: then the serial default of 1.  Results are bit-identical for any N.
+    workers: int | None = None
 
     def display_label(self) -> str:
         if self.label:
@@ -62,6 +91,12 @@ class TaskOutcome:
     syntactic_successes: int
     full_successes: int
     passes_used: list[int] = field(default_factory=list)
+    #: Samples that ran clean but could not be graded semantically (no
+    #: reference and no checker).  These are *included* in
+    #: ``full_successes`` — the historical accuracy definition — but
+    #: surfaced here so reports can show how much of an arm's accuracy is
+    #: ungraded instead of silently folding it in.
+    semantic_unknown: int = 0
 
 
 @dataclass
@@ -71,7 +106,8 @@ class EvalResult:
     label: str
     outcomes: list[TaskOutcome]
     #: ExecutionService activity attributable to this arm (simulations run,
-    #: result-cache hits/misses) — see :func:`evaluate`.
+    #: result-cache hits/misses) — exact under concurrency, see
+    #: :func:`evaluate`.
     execution_stats: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -89,15 +125,31 @@ class EvalResult:
         good = sum(o.syntactic_successes for o in self.outcomes)
         return good / total if total else 0.0
 
+    def semantic_unknown_count(self) -> int:
+        """Samples counted as successes without a semantic verdict."""
+        return sum(o.semantic_unknown for o in self.outcomes)
+
+    def semantic_unknown_rate(self) -> float:
+        total = sum(o.samples for o in self.outcomes)
+        return self.semantic_unknown_count() / total if total else 0.0
+
     def accuracy_by_tier(self) -> dict[str, float]:
+        """Per-tier accuracy; tiers with zero samples get *no* entry.
+
+        (They used to be masked to a fake ``0.0`` via ``max(1, total)``,
+        which made an empty tier indistinguishable from an all-failing one.)
+        """
         tiers: dict[str, list[TaskOutcome]] = {}
         for o in self.outcomes:
             tiers.setdefault(o.tier, []).append(o)
-        return {
-            tier: sum(o.full_successes for o in group)
-            / max(1, sum(o.samples for o in group))
-            for tier, group in sorted(tiers.items())
-        }
+        accuracies: dict[str, float] = {}
+        for tier, group in sorted(tiers.items()):
+            samples = sum(o.samples for o in group)
+            if samples:
+                accuracies[tier] = (
+                    sum(o.full_successes for o in group) / samples
+                )
+        return accuracies
 
     def pass_at_k(self, k: int = 1) -> float:
         return mean_pass_at_k(
@@ -132,19 +184,54 @@ def build_pipeline(settings: PipelineSettings) -> tuple[CodeGenerationAgent, Sem
     return codegen, SemanticAnalyzerAgent()
 
 
-def evaluate(settings: PipelineSettings, tasks: list[Task]) -> EvalResult:
-    """Run one arm over a bank; deterministic given settings.base_seed.
+# -- the chunked episode engine ---------------------------------------------------
 
-    Grading runs through the shared ExecutionService, so each result carries
-    the arm's simulation and cache counters — a repeat run of an identical
-    arm is served almost entirely from the result cache.
+#: Pipelines memoised per thread, keyed by arm settings: a worker process or
+#: the serial caller reuses one pipeline for every chunk of an arm (matching
+#: the historical one-pipeline-per-arm behaviour), while thread-pool workers
+#: each get their own instances so no pipeline is shared across threads.
+#: Thread-locality also means no lock, no cross-thread ident aliasing, and
+#: nothing to repair after fork (the child's main thread inherits the
+#: forking thread's warm cache).
+_pipelines = threading.local()
+_PIPELINE_CACHE_MAX = 16
+
+
+def _cached_pipeline(
+    settings: PipelineSettings,
+) -> tuple[CodeGenerationAgent, SemanticAnalyzerAgent]:
+    cache = getattr(_pipelines, "cache", None)
+    if cache is None:
+        cache = _pipelines.cache = {}
+    pipeline = cache.get(settings)
+    if pipeline is None:
+        if len(cache) >= _PIPELINE_CACHE_MAX:
+            cache.clear()
+        pipeline = cache[settings] = build_pipeline(settings)
+    return pipeline
+
+
+def _run_task_chunk(settings: PipelineSettings, task: Task) -> tuple:
+    """All samples of one task under one arm; the unit of parallel work.
+
+    Deterministic given ``(settings, task)`` — every episode seed is derived
+    from stable identifiers, the sandbox pins its ambient seed, and grading
+    uses a fixed seed — so the engine is free to run chunks in any order, on
+    any thread, or in any worker process and still produce outcomes
+    bit-identical to the serial loop.  Returns plain picklable data:
+    ``(syntactic, full, semantic_unknown, passes_used, stats_dict)``.
+
+    The chunk runs with the ambient scope stack *isolated*: whether it
+    executes on the calling thread, a pool thread, or a forked worker, any
+    scopes of the surrounding caller see nothing directly — the engine
+    merges the returned stats into them explicitly, identically in every
+    mode.
     """
-    before = default_service().stats()
-    codegen, analyzer = build_pipeline(settings)
-    outcomes = []
-    for task in tasks:
+    codegen, analyzer = _cached_pipeline(settings)
+    with isolated_scopes(), stats_scope(settings.display_label()) as scope:
         syntactic = 0
         full = 0
+        semantic_unknown = 0
         passes_used: list[int] = []
         for sample in range(settings.samples_per_task):
             seed = derive_seed(
@@ -170,33 +257,96 @@ def evaluate(settings: PipelineSettings, tasks: list[Task]) -> EvalResult:
                 syntactic += 1
             if report.syntactic_ok and report.semantic_ok is not False:
                 full += 1
+                if report.semantic_ok is None:
+                    semantic_unknown += 1
             passes_used.append(refinement.passes_used)
-        outcomes.append(
-            TaskOutcome(
-                case_id=task.case_id,
-                tier=task.tier,
-                family=task.case.family,
-                samples=settings.samples_per_task,
-                syntactic_successes=syntactic,
-                full_successes=full,
-                passes_used=passes_used,
+    return syntactic, full, semantic_unknown, passes_used, scope.as_dict()
+
+
+def evaluate_many(
+    settings_list: list[PipelineSettings],
+    tasks: list[Task],
+    workers: int | None = None,
+    progress=None,
+) -> list[EvalResult]:
+    """Run several independent arms over one bank, sharing a worker pool.
+
+    All (arm, task) chunks fan out together, so a multi-arm experiment keeps
+    every worker busy even while one arm's last task drains.  ``workers``
+    falls back to the largest per-arm ``PipelineSettings.workers``, then
+    ``REPRO_EVAL_WORKERS``, then 1 (inline serial execution — the reference
+    the parallel paths are bit-identical to).  ``progress(done, total)`` is
+    called as chunks complete.
+
+    Per-arm ``execution_stats`` are the sum of the per-chunk stats scopes:
+    exact and non-overlapping even though the arms run concurrently.  Any
+    scopes ambient on the *calling* thread receive the same totals (via an
+    explicit merge — chunks run scope-isolated), so ``with
+    service.stats_scope() as s: evaluate(...)`` observes identical numbers
+    whether the episodes ran inline, on threads, or in worker processes.
+    """
+    arms = list(settings_list)
+    caller_scopes = active_scopes()
+    setting_workers = [s.workers for s in arms if s.workers is not None]
+    resolved = resolve_workers(
+        workers, max(setting_workers) if setting_workers else None
+    )
+    calls = [(settings, task) for settings in arms for task in tasks]
+    on_result = None
+    if progress is not None:
+        total = len(calls)
+        on_result = lambda done, _result: progress(done, total)  # noqa: E731
+    chunk_results = parallel_map(
+        _run_task_chunk, calls, resolved, on_result=on_result
+    )
+    results = []
+    for arm_index, settings in enumerate(arms):
+        outcomes = []
+        stats = dict.fromkeys(SCOPE_FIELDS, 0)
+        for task_index, task in enumerate(tasks):
+            syntactic, full, unknown, passes_used, chunk_stats = chunk_results[
+                arm_index * len(tasks) + task_index
+            ]
+            outcomes.append(
+                TaskOutcome(
+                    case_id=task.case_id,
+                    tier=task.tier,
+                    family=task.case.family,
+                    samples=settings.samples_per_task,
+                    syntactic_successes=syntactic,
+                    full_successes=full,
+                    passes_used=passes_used,
+                    semantic_unknown=unknown,
+                )
+            )
+            for key in SCOPE_FIELDS:
+                stats[key] += int(chunk_stats.get(key, 0))
+        for scope in caller_scopes:
+            scope.merge(stats)
+        results.append(
+            EvalResult(
+                label=settings.display_label(),
+                outcomes=outcomes,
+                execution_stats=stats,
             )
         )
-    after = default_service().stats()
-    execution_stats = {
-        key: int(after.get(key, 0) - before.get(key, 0))
-        for key in (
-            "simulations",
-            "simulations_deduped",
-            "cache_hits",
-            "cache_misses",
-            "cache_disk_hits",
-            "cache_remote_hits",
-            "cache_evictions",
-        )
-    }
-    return EvalResult(
-        label=settings.display_label(),
-        outcomes=outcomes,
-        execution_stats=execution_stats,
-    )
+    return results
+
+
+def evaluate(
+    settings: PipelineSettings,
+    tasks: list[Task],
+    workers: int | None = None,
+    progress=None,
+) -> EvalResult:
+    """Run one arm over a bank; deterministic given ``settings.base_seed``.
+
+    ``workers=N`` fans the per-task chunks across N workers with outcomes
+    **bit-identical** to the serial runner for any N (per-sample seeds are
+    order-independent via ``derive_seed``).  Grading runs through the shared
+    ExecutionService under per-chunk stats scopes, so the result carries the
+    arm's own simulation and cache counters — exact even while other arms
+    run concurrently — and a repeat run of an identical arm is served almost
+    entirely from the result cache.
+    """
+    return evaluate_many([settings], tasks, workers=workers, progress=progress)[0]

@@ -36,6 +36,7 @@ from repro.qec.unionfind import UnionFindDecoder
 from repro.quantum.topology import CouplingMap
 from repro.rag.chunking import code_aware_chunks, naive_chunks
 from repro.rag.docs import API_DOCS
+from repro.utils.parallel import parallel_map, resolve_workers
 from repro.utils.rng import derive_rng
 
 
@@ -249,14 +250,30 @@ def topology_ablation(distance: int = 3) -> ExperimentResult:
     return experiment
 
 
-def run_all() -> list[ExperimentResult]:
-    return [
-        fim_rate_ablation(),
-        chunking_ablation(),
-        decoder_ablation(),
-        distance_ablation(),
-        topology_ablation(),
-    ]
+#: The five ablations, in report order.  Each is deterministic and
+#: independent, so ``run_all`` can fan them across worker processes.
+_ABLATIONS = (
+    fim_rate_ablation,
+    chunking_ablation,
+    decoder_ablation,
+    distance_ablation,
+    topology_ablation,
+)
+
+
+def _run_ablation(index: int) -> ExperimentResult:
+    """Run one ablation by position (module-level, hence picklable)."""
+    return _ABLATIONS[index]()
+
+
+def run_all(workers: int | None = None) -> list[ExperimentResult]:
+    """All five ablations; ``workers`` / ``REPRO_EVAL_WORKERS`` fans the
+    independent studies across processes with identical results (the
+    per-shot timing notes in the decoder study remain wall-clock)."""
+    resolved = resolve_workers(workers)
+    return parallel_map(
+        _run_ablation, [(i,) for i in range(len(_ABLATIONS))], resolved
+    )
 
 
 def main() -> None:

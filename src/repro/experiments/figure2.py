@@ -21,7 +21,38 @@ from repro.experiments.common import ExperimentResult
 from repro.qec.codes.surface import SurfaceCode
 from repro.qec.matching import MWPMDecoder
 from repro.qec.syndrome import sample_memory
+from repro.utils.parallel import parallel_map, resolve_workers
 from repro.utils.rng import derive_rng
+
+
+def _stats_shot_batch(
+    distance: int,
+    rounds: int,
+    p_data: float,
+    p_meas: float,
+    seed: int,
+    start: int,
+    stop: int,
+) -> tuple[int, int]:
+    """Decode shots [start, stop); per-shot RNGs make order irrelevant.
+
+    Module-level and fully described by picklable scalars, so the statistics
+    loop can fan across worker processes with bit-identical totals.
+    """
+    code = SurfaceCode(distance)
+    decoder = MWPMDecoder(code, "x")
+    cleared = 0
+    preserved = 0
+    for shot in range(start, stop):
+        shot_rng = derive_rng(seed, "figure2", "stats", shot)
+        h = sample_memory(code, rounds, p_data, p_meas, shot_rng, "x")
+        r = decoder.decode(h)
+        final_syndrome = code.syndrome(h.true_error ^ r.correction, "x")
+        if not final_syndrome.any():
+            cleared += 1
+        if not code.logical_flipped(h.true_error ^ r.correction, "x"):
+            preserved += 1
+    return cleared, preserved
 
 
 def run(
@@ -31,6 +62,7 @@ def run(
     p_meas: float = 0.04,
     seed: int = 11,
     shots_for_stats: int = 200,
+    workers: int | None = None,
 ) -> ExperimentResult:
     code = SurfaceCode(distance)
     decoder = MWPMDecoder(code, "x")
@@ -83,18 +115,17 @@ def run(
     )
     experiment.extras.append("\n".join(lines))
 
-    # -- statistics over many shots ---------------------------------------
-    cleared = 0
-    preserved = 0
-    for shot in range(shots_for_stats):
-        shot_rng = derive_rng(seed, "figure2", "stats", shot)
-        h = sample_memory(code, rounds, p_data, p_meas, shot_rng, "x")
-        r = decoder.decode(h)
-        final_syndrome = code.syndrome(h.true_error ^ r.correction, "x")
-        if not final_syndrome.any():
-            cleared += 1
-        if not code.logical_flipped(h.true_error ^ r.correction, "x"):
-            preserved += 1
+    # -- statistics over many shots (fanned across workers) ----------------
+    resolved = resolve_workers(workers)
+    step = max(1, -(-shots_for_stats // max(1, resolved * 4)))
+    batches = [
+        (distance, rounds, p_data, p_meas, seed, start,
+         min(start + step, shots_for_stats))
+        for start in range(0, shots_for_stats, step)
+    ]
+    totals = parallel_map(_stats_shot_batch, batches, resolved)
+    cleared = sum(batch_cleared for batch_cleared, _ in totals)
+    preserved = sum(batch_preserved for _, batch_preserved in totals)
     experiment.add(
         "decoder clears the final syndrome",
         100.0,

@@ -10,7 +10,7 @@ abstract's accounting); multi-pass reaches ~34%.
 from __future__ import annotations
 
 from repro.evalsuite.reporting import accuracy_bars
-from repro.evalsuite.runner import EvalResult, PipelineSettings, evaluate
+from repro.evalsuite.runner import EvalResult, PipelineSettings, evaluate_many
 from repro.evalsuite.suite import build_suite
 from repro.experiments.common import ExperimentResult
 from repro.llm.faults import ModelConfig
@@ -57,11 +57,18 @@ def arms(samples_per_task: int = 6, base_seed: int = 1234) -> list[PipelineSetti
 
 
 def run(
-    samples_per_task: int = 6, base_seed: int = 1234
+    samples_per_task: int = 6, base_seed: int = 1234, workers: int | None = None
 ) -> tuple[ExperimentResult, list[EvalResult]]:
-    """Run all six arms over the suite; returns the comparison + raw results."""
+    """Run all six arms over the suite; returns the comparison + raw results.
+
+    The arms are independent, so they share one worker pool
+    (``workers`` / ``REPRO_EVAL_WORKERS``) with bit-identical results and
+    exact per-arm execution stats.
+    """
     tasks = build_suite()
-    results = [evaluate(s, tasks) for s in arms(samples_per_task, base_seed)]
+    results = evaluate_many(
+        arms(samples_per_task, base_seed), tasks, workers=workers
+    )
     experiment = ExperimentResult(
         "figure3", "Suite accuracy by technique (syntactic + semantic valid)"
     )

@@ -8,7 +8,7 @@ split: RAG 45.7% syntactic / 33.8% semantic; CoT 46.4% / 41.4%.
 from __future__ import annotations
 
 from repro.evalsuite.qhe import build_qhe
-from repro.evalsuite.runner import EvalResult, PipelineSettings, evaluate
+from repro.evalsuite.runner import EvalResult, PipelineSettings, evaluate_many
 from repro.experiments.common import ExperimentResult
 from repro.llm.faults import ModelConfig
 
@@ -57,10 +57,14 @@ def arms(samples_per_task: int = 6, base_seed: int = 77) -> list[PipelineSetting
 
 
 def run(
-    samples_per_task: int = 6, base_seed: int = 77
+    samples_per_task: int = 6, base_seed: int = 77, workers: int | None = None
 ) -> tuple[ExperimentResult, list[EvalResult]]:
     tasks = build_qhe()
-    results = [evaluate(s, tasks) for s in arms(samples_per_task, base_seed)]
+    # All five arms fan out over one worker pool (bit-identical to running
+    # them serially); per-arm execution_stats stay exact via stats scopes.
+    results = evaluate_many(
+        arms(samples_per_task, base_seed), tasks, workers=workers
+    )
     experiment = ExperimentResult("table1", "Qiskit HumanEval performance")
     for result in results:
         experiment.add(

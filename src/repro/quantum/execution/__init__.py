@@ -1,6 +1,6 @@
 """``repro.quantum.execution`` — the unified circuit-execution subsystem.
 
-Five cooperating pieces (see the per-module docstrings for detail):
+The cooperating pieces (see the per-module docstrings for detail):
 
 * :mod:`~repro.quantum.execution.registry` — a :class:`BackendProvider`
   registry of named, lazily-constructed backends
@@ -25,7 +25,11 @@ Five cooperating pieces (see the per-module docstrings for detail):
   ``REPRO_CACHE_URL``) that lets a fleet of workers on different machines
   share one warm store;
 * :mod:`~repro.quantum.execution.pool` — picklable :class:`WorkUnit`\\ s and
-  the child-process worker behind the process executor.
+  the child-process worker behind the process executor;
+* :mod:`~repro.quantum.execution.scopes` — attributable per-caller counters:
+  ``with service.stats_scope() as scope:`` captures exactly the work a block
+  initiated (sync or async), so concurrent users — e.g. two evaluation arms —
+  get exact, non-overlapping execution stats.
 
 Quickstart::
 
@@ -59,6 +63,11 @@ from repro.quantum.execution.registry import (
     register_backend,
     resolve_backend,
 )
+from repro.quantum.execution.scopes import (
+    StatsScope,
+    stats_scope,
+    use_scope,
+)
 from repro.quantum.execution.service import (
     ExecutionService,
     ambient_seed,
@@ -81,6 +90,9 @@ __all__ = [
     "ExecutionService",
     "JobStatus",
     "ResultCache",
+    "StatsScope",
+    "stats_scope",
+    "use_scope",
     "WorkUnit",
     "run_work_unit",
     "circuit_fingerprint",

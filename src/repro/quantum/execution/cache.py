@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.execution.disk_cache import DiskResultCache
 from repro.quantum.execution.remote_cache import RemoteResultCache
+from repro.quantum.execution.scopes import StatsScope, credit
 from repro.quantum.noise import NoiseModel
 from repro.utils.rng import stable_hash
 
@@ -153,18 +154,32 @@ class ResultCache:
         with self._lock:
             return len(self._store)
 
-    def get(self, key: CacheKey) -> tuple[dict[str, int], list[str] | None] | None:
-        """Look up one execution; counts towards hit/miss statistics."""
+    def get(
+        self,
+        key: CacheKey,
+        scopes: tuple[StatsScope, ...] = (),
+    ) -> tuple[dict[str, int], list[str] | None] | None:
+        """Look up one execution; counts towards hit/miss statistics.
+
+        ``scopes`` are the :class:`~repro.quantum.execution.scopes.StatsScope`
+        sinks this lookup is attributable to — they receive the same hit/miss
+        increments as the global counters, which is what makes per-caller
+        stats exact under concurrency.
+        """
         entry = self._lookup(key)
         with self._lock:
             if entry is None:
                 self.stats.misses += 1
+                credit(scopes, "cache_misses")
                 return None
             self.stats.hits += 1
+            credit(scopes, "cache_hits")
             if entry[2] == "disk":
                 self.stats.disk_hits += 1
+                credit(scopes, "cache_disk_hits")
             elif entry[2] == "remote":
                 self.stats.remote_hits += 1
+                credit(scopes, "cache_remote_hits")
         counts, mem, _tier = entry
         return dict(counts), (list(mem) if mem is not None else None)
 
@@ -211,12 +226,18 @@ class ResultCache:
         return None
 
     def put(
-        self, key: CacheKey, counts: dict[str, int], memory: list[str] | None
+        self,
+        key: CacheKey,
+        counts: dict[str, int],
+        memory: list[str] | None,
+        scopes: tuple[StatsScope, ...] = (),
     ) -> None:
         with self._lock:
             self._insert(key, counts, memory)
         if self.disk is not None:
-            self.disk.put(key, counts, memory)
+            # Disk-tier evictions are attributable to the write that pushed
+            # the store over its budget, i.e. to this caller's scopes.
+            credit(scopes, "cache_evictions", self.disk.put(key, counts, memory))
         if self.remote is not None:
             self.remote.put(key, counts, memory)
 
@@ -246,6 +267,15 @@ class ResultCache:
             self.stats = CacheStats()
         if self.disk is not None:
             self.disk.clear()
+
+    def _reset_for_child(self) -> None:
+        """Replace locks after ``fork()``: another thread of the parent may
+        have held them at fork time, which would deadlock the child.  The
+        stored entries are kept — an inherited warm cache is the point of
+        forking eval workers."""
+        self._lock = threading.Lock()
+        if self.disk is not None:
+            self.disk._reset_for_child()
 
     def __repr__(self) -> str:
         disk = f", disk={self.disk!r}" if self.disk is not None else ""

@@ -192,6 +192,10 @@ class DiskResultCache:
         self._approx: list[int] | None = None
         self._age_sweep_due = 0.0
 
+    def _reset_for_child(self) -> None:
+        """Fresh lock after ``fork()`` (the parent's may have been held)."""
+        self._lock = threading.Lock()
+
     # -- addressing ----------------------------------------------------------------
 
     def path_for(self, key: "CacheKey") -> Path:
@@ -220,10 +224,11 @@ class DiskResultCache:
 
     def put(
         self, key: "CacheKey", counts: dict[str, int], memory: list[str] | None
-    ) -> None:
+    ) -> int:
         """Atomically persist one entry (best-effort: I/O errors are ignored),
-        then enforce the retention limits."""
-        self._write(self.path_for(key), encode_entry(key, counts, memory))
+        then enforce the retention limits.  Returns the number of entries this
+        write evicted, so callers can attribute eviction pressure."""
+        return self._write(self.path_for(key), encode_entry(key, counts, memory))
 
     def put_entry(self, entry: object) -> bool:
         """Persist a pre-encoded entry (the HTTP server's upload path).
@@ -247,7 +252,7 @@ class DiskResultCache:
         self.put(key, counts, memory)
         return True
 
-    def _write(self, path: Path, entry: dict) -> None:
+    def _write(self, path: Path, entry: dict) -> int:
         tmp = path.with_suffix(f".{os.getpid()}-{next(_tmp_ids)}.tmp")
         try:
             with open(tmp, "w", encoding="utf-8") as handle:
@@ -255,12 +260,14 @@ class DiskResultCache:
             os.replace(tmp, path)
         except OSError:
             self._discard(tmp)
-            return
+            return 0
         if self.limits is not None and self.limits.bounded:
-            self._after_bounded_write(path)
+            return self._after_bounded_write(path)
+        return 0
 
-    def _after_bounded_write(self, path: Path) -> None:
-        """Update the running totals; enforce only when a bound may be hit."""
+    def _after_bounded_write(self, path: Path) -> int:
+        """Update the running totals; enforce only when a bound may be hit.
+        Returns the number of entries evicted by this write."""
         policy = self.limits
         with self._lock:
             if self._approx is None:
@@ -286,8 +293,8 @@ class DiskResultCache:
                 and time.time() >= self._age_sweep_due
             )
             if not over and not sweep:
-                return
-        self._enforce(policy, protect=path)
+                return 0
+        return self._enforce(policy, protect=path)
 
     # -- retention -------------------------------------------------------------------
 

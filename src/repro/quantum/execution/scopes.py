@@ -1,0 +1,160 @@
+"""Scoped, attributable execution-stats counters.
+
+``ExecutionService.stats()`` is a process-global view: diffing it before and
+after a workload attributes *everything that happened in between* to that
+workload, which is simply wrong the moment two evaluation arms (or any other
+service users) overlap in time.  A :class:`StatsScope` fixes attribution at
+the root: it is a thread-safe counter sink that receives exactly the
+increments caused by work *initiated under it* —
+
+* synchronous executions count on the calling thread;
+* asynchronous submissions capture the scopes active at ``submit()`` time and
+  credit them from the pool workers that actually run the circuits;
+* cache lookups/fills credit the scopes of the caller that triggered them.
+
+Scopes are ambient per thread (a stack, so they nest — an inner sandbox
+scope and an outer evaluation-arm scope both see the same increment) and
+explicitly portable across threads and processes:
+
+* :func:`stats_scope` opens a fresh scope on the current thread::
+
+      with stats_scope() as scope:
+          service.run(qc, backend="ideal", shots=256, seed=1)
+      scope.get("simulations")   # exactly this block's work
+
+* :func:`use_scope` re-activates an existing scope on another thread, so a
+  fan-out engine can attribute every worker's activity to one owner;
+* :meth:`StatsScope.merge` folds a counter dict produced elsewhere (e.g. a
+  worker process that ran its chunk under its own local scope) into this one.
+
+The counter names mirror the keys of ``service.stats()`` /
+``EvalResult.execution_stats`` so a scope snapshot drops straight into the
+existing reporting surfaces.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Iterable, Mapping
+from contextlib import contextmanager
+
+#: Every counter a scope tracks, in reporting order.  Matches the per-arm
+#: ``EvalResult.execution_stats`` keys exactly.
+SCOPE_FIELDS = (
+    "simulations",
+    "simulations_deduped",
+    "cache_hits",
+    "cache_misses",
+    "cache_disk_hits",
+    "cache_remote_hits",
+    "cache_evictions",
+)
+
+
+class StatsScope:
+    """A thread-safe sink of execution counters owned by one logical caller."""
+
+    __slots__ = ("label", "_lock", "_counts")
+
+    def __init__(self, label: str | None = None) -> None:
+        self.label = label
+        self._lock = threading.Lock()
+        self._counts = dict.fromkeys(SCOPE_FIELDS, 0)
+
+    def add(self, field: str, amount: int = 1) -> None:
+        """Credit ``amount`` to one counter (unknown fields are ignored)."""
+        if amount and field in self._counts:
+            with self._lock:
+                self._counts[field] += amount
+
+    def merge(self, counts: Mapping[str, int]) -> None:
+        """Fold a counter dict (e.g. from a worker process) into this scope."""
+        with self._lock:
+            for field, amount in counts.items():
+                if field in self._counts:
+                    self._counts[field] += int(amount)
+
+    def get(self, field: str) -> int:
+        with self._lock:
+            return self._counts[field]
+
+    def as_dict(self) -> dict[str, int]:
+        """An immutable-snapshot copy of every counter."""
+        with self._lock:
+            return dict(self._counts)
+
+    def __repr__(self) -> str:
+        label = f"'{self.label}' " if self.label else ""
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"StatsScope({label}{body or 'empty'})"
+
+
+_stack = threading.local()
+
+
+def active_scopes() -> tuple[StatsScope, ...]:
+    """The scopes active on the *current* thread, outermost first."""
+    return tuple(getattr(_stack, "scopes", ()))
+
+
+def credit(
+    scopes: Iterable[StatsScope], field: str, amount: int = 1
+) -> None:
+    """Credit one counter on every scope in ``scopes``."""
+    if not amount:
+        return
+    for scope in scopes:
+        scope.add(field, amount)
+
+
+@contextmanager
+def use_scope(scope: StatsScope):
+    """Activate an existing scope on the current thread (re-entrant).
+
+    This is the cross-thread half of the API: a coordinator creates one
+    scope, hands it to N workers, and each worker wraps its slice of the work
+    in ``use_scope(scope)`` — the counters still add up exactly.  Entering a
+    scope that is already active on this thread is a no-op, so re-entrant
+    activation never double-credits an increment.
+    """
+    stack = getattr(_stack, "scopes", None)
+    if stack is None:
+        stack = _stack.scopes = []
+    pushed = not any(existing is scope for existing in stack)
+    if pushed:
+        stack.append(scope)
+    try:
+        yield scope
+    finally:
+        if pushed:
+            # Remove by identity from the end: exits may interleave only
+            # within one thread, and contextmanager exits are LIFO per thread.
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] is scope:
+                    del stack[index]
+                    break
+
+
+@contextmanager
+def stats_scope(label: str | None = None):
+    """Open a fresh :class:`StatsScope` on the current thread."""
+    with use_scope(StatsScope(label)) as scope:
+        yield scope
+
+
+@contextmanager
+def isolated_scopes():
+    """Temporarily clear the current thread's ambient scope stack.
+
+    For engines that collect per-chunk counters and fold them into the
+    caller's scopes *explicitly* (e.g. the parallel eval runner, whose
+    chunks may run on the calling thread, a pool thread, or a forked
+    worker): isolating the chunk makes ambient crediting identical across
+    all three placements, so the explicit merge never double-counts.
+    """
+    previous = getattr(_stack, "scopes", None)
+    _stack.scopes = []
+    try:
+        yield
+    finally:
+        _stack.scopes = previous if previous is not None else []

@@ -37,7 +37,13 @@ compatibility shim) submits work here, which buys:
 * **single-flight simulation** — concurrent misses on an identical cache key
   elect one leader to simulate while the rest wait for its cache fill
   (``simulations_deduped`` in :meth:`ExecutionService.stats`), so a batch of
-  duplicate circuits never multiplies work.
+  duplicate circuits never multiplies work;
+* **attributable counters** — ``with service.stats_scope() as scope:``
+  captures exactly the simulations/cache traffic caused by the work initiated
+  under it (asynchronous submissions credit the scopes that were active at
+  ``submit()`` time), so concurrent callers — e.g. two evaluation arms
+  sharing the service — get exact, non-overlapping stats instead of the racy
+  before/after diff of the global :meth:`ExecutionService.stats`.
 
 Seed semantics: circuit *i* of a batch executes with ``seed`` itself for
 ``i == 0`` and ``derive_seed(seed, "batch", i)`` afterwards.  Index 0 matches
@@ -54,6 +60,7 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
@@ -78,6 +85,12 @@ from repro.quantum.execution.pool import (
 )
 from repro.quantum.execution.registry import resolve_backend
 from repro.quantum.execution.remote_cache import RemoteResultCache
+from repro.quantum.execution.scopes import (
+    StatsScope,
+    active_scopes,
+    credit,
+    stats_scope,
+)
 from repro.utils.rng import derive_seed
 
 #: Environment variable that gives the *default* service a persistent cache.
@@ -135,11 +148,15 @@ class _Batch:
         backend: Backend,
         shots: int,
         seed: int | None,
+        scopes: tuple[StatsScope, ...] = (),
     ) -> None:
         self.job = job
         self.backend = backend
         self.shots = shots
         self.seed = seed
+        #: Stats scopes active on the *submitting* thread: pool workers credit
+        #: these, so async work stays attributed to whoever submitted it.
+        self.scopes = scopes
         self.slots: list[tuple[dict[str, int], list[str] | None] | None] = (
             [None] * size
         )
@@ -209,6 +226,7 @@ class ExecutionService:
         self._circuits_executed = 0
         self._simulations = 0
         self._simulations_deduped = 0
+        _live_services.add(self)
 
     # -- public API --------------------------------------------------------------
 
@@ -233,13 +251,14 @@ class ExecutionService:
         job = ExecutionJob(
             num_circuits=len(batch_circuits), backend_name=target.name
         )
-        batch = _Batch(job, len(batch_circuits), target, shots, seed)
+        scopes = active_scopes()
+        batch = _Batch(job, len(batch_circuits), target, shots, seed, scopes)
         misses: list[tuple[int, QuantumCircuit, CacheKey | None, int | None]] = []
         noise_fp = noise_fingerprint(target.noise_model)
         for index, qc in enumerate(batch_circuits):
             eff_seed = self._effective_seed(seed, index)
             key = self._cache_key(qc, target, shots, eff_seed, noise_fp, memory)
-            cached = self.cache.get(key) if key is not None else None
+            cached = self.cache.get(key, scopes) if key is not None else None
             if cached is not None:
                 batch.slots[index] = cached
                 batch.pending -= 1
@@ -274,6 +293,7 @@ class ExecutionService:
             num_circuits=len(batch_circuits), backend_name=target.name
         )
         job._mark_running()
+        scopes = active_scopes()
         noise_fp = noise_fingerprint(target.noise_model)
         counts_list: list[dict[str, int]] = []
         memory_list: list[list[str] | None] = []
@@ -281,7 +301,7 @@ class ExecutionService:
             eff_seed = self._effective_seed(seed, index)
             key = self._cache_key(qc, target, shots, eff_seed, noise_fp, memory)
             counts, mem, source = self._lookup_or_simulate(
-                target, qc, shots, eff_seed, memory, key
+                target, qc, shots, eff_seed, memory, key, scopes=scopes
             )
             if source == "hit":
                 job.cache_hits += 1
@@ -295,8 +315,27 @@ class ExecutionService:
         )
         return job
 
+    def stats_scope(self, label: str | None = None):
+        """Open an attributable counter scope on the current thread.
+
+        Everything executed under the scope — synchronously, or submitted
+        from this thread and run on pool workers — credits the yielded
+        :class:`~repro.quantum.execution.scopes.StatsScope` exactly, even
+        while other threads drive the same service.  This is the
+        concurrency-safe replacement for diffing :meth:`stats` around a
+        workload.  Scopes are ambient per thread, so the same scope also
+        covers any other service the thread touches; see
+        :func:`repro.quantum.execution.scopes.use_scope` for re-activating a
+        scope on worker threads.
+        """
+        return stats_scope(label)
+
     def stats(self) -> dict[str, float | int | str]:
-        """Service-level counters, including cache hit/miss totals."""
+        """Service-level counters, including cache hit/miss totals.
+
+        These are process-global; to attribute activity to one caller under
+        concurrency use :meth:`stats_scope`, not a before/after diff.
+        """
         with self._lock:
             out: dict[str, float | int | str] = {
                 "jobs_submitted": self._jobs_submitted,
@@ -315,7 +354,7 @@ class ExecutionService:
             )
             if self.cache.disk is not None:
                 # No disk entry count here: that is O(entries) directory I/O
-                # and stats() sits on hot paths (evaluate() polls it per arm).
+                # and stats() sits on hot paths (the CLI prints it per eval).
                 # `repro cache` reports entry counts on demand.
                 out.update(
                     cache_disk_hits=snap.disk_hits,
@@ -388,9 +427,11 @@ class ExecutionService:
         shots: int,
         eff_seed: int | None,
         memory: bool,
+        scopes: tuple[StatsScope, ...] = (),
     ) -> tuple[dict[str, int], list[str] | None]:
         with self._lock:
             self._simulations += 1
+        credit(scopes, "simulations")
         if self.executor == "process" and offloadable(backend):
             pool = self._ensure_process_pool()
             if pool is not None:
@@ -414,6 +455,7 @@ class ExecutionService:
         memory: bool,
         key: CacheKey | None,
         probe: bool = True,
+        scopes: tuple[StatsScope, ...] = (),
     ) -> tuple[dict[str, int], list[str] | None, str]:
         """One circuit through the cache: ``(counts, memory, source)``.
 
@@ -424,13 +466,17 @@ class ExecutionService:
         The single execution path shared by the sync loop and the pool
         workers, so cache/seed semantics can never fork between them.
         ``probe=False`` skips the lookup (pool workers already missed at
-        submit time; probing again would double-count the miss).
+        submit time; probing again would double-count the miss).  ``scopes``
+        receive every increment this circuit causes, no matter which thread
+        runs it.
         """
-        cached = self.cache.get(key) if probe and key is not None else None
+        cached = self.cache.get(key, scopes) if probe and key is not None else None
         if cached is not None:
             return cached[0], cached[1], "hit"
         if key is None:
-            counts, mem = self._simulate(backend, circuit, shots, eff_seed, memory)
+            counts, mem = self._simulate(
+                backend, circuit, shots, eff_seed, memory, scopes
+            )
             return counts, mem, "sim"
         # Single-flight: concurrent misses on one key elect a leader; the
         # rest block on its cache fill instead of duplicating the simulation.
@@ -443,7 +489,7 @@ class ExecutionService:
             event.wait()
             filled = self.cache.peek(key)
             if filled is not None:
-                return self._deduped(filled)
+                return self._deduped(filled, scopes)
             # The leader failed without filling the cache; compete to retry.
         try:
             # Re-probe silently: the key may have been filled between the
@@ -451,9 +497,11 @@ class ExecutionService:
             # batch containing the same circuit twice on one worker thread).
             filled = self.cache.peek(key)
             if filled is not None:
-                return self._deduped(filled)
-            counts, mem = self._simulate(backend, circuit, shots, eff_seed, memory)
-            self.cache.put(key, counts, mem)
+                return self._deduped(filled, scopes)
+            counts, mem = self._simulate(
+                backend, circuit, shots, eff_seed, memory, scopes
+            )
+            self.cache.put(key, counts, mem, scopes)
             return counts, mem, "sim"
         finally:
             with self._lock:
@@ -461,10 +509,13 @@ class ExecutionService:
             event.set()
 
     def _deduped(
-        self, entry: tuple[dict[str, int], list[str] | None]
+        self,
+        entry: tuple[dict[str, int], list[str] | None],
+        scopes: tuple[StatsScope, ...] = (),
     ) -> tuple[dict[str, int], list[str] | None, str]:
         with self._lock:
             self._simulations_deduped += 1
+        credit(scopes, "simulations_deduped")
         return entry[0], entry[1], "dedup"
 
     def _account(self, num_circuits: int) -> None:
@@ -488,7 +539,8 @@ class ExecutionService:
             return  # cancelled (or already failed) before this circuit started
         try:
             counts, mem, source = self._lookup_or_simulate(
-                backend, circuit, shots, eff_seed, memory, key, probe=False
+                backend, circuit, shots, eff_seed, memory, key,
+                probe=False, scopes=batch.scopes,
             )
         except BaseException as exc:  # noqa: BLE001 - relayed via job.result()
             job._mark_error(exc)
@@ -519,6 +571,21 @@ class ExecutionService:
             )
         )
 
+    def _reset_for_child(self) -> None:
+        """Repair state after ``fork()``: worker threads do not survive into
+        the child, so inherited pools would queue work forever, and a lock
+        another parent thread held at fork time would deadlock.  Counters and
+        the (warm) cache contents are kept — inheriting them is exactly why
+        eval workers fork."""
+        self._lock = threading.Lock()
+        self._pool = None
+        self._process_pool = None
+        self._process_pool_broken = False
+        # Parent-side leaders will never set their events in this process.
+        self._inflight = {}
+        if self.cache is not None:
+            self.cache._reset_for_child()
+
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
             if self._pool is None:
@@ -541,6 +608,23 @@ class ExecutionService:
                     self._process_pool_broken = True
                     return None
             return self._process_pool
+
+
+# -- fork safety --------------------------------------------------------------------
+
+#: Every live service, so forked children can repair inherited state.
+_live_services: "weakref.WeakSet[ExecutionService]" = weakref.WeakSet()
+
+
+def _reset_services_after_fork() -> None:
+    global _default_lock
+    _default_lock = threading.Lock()
+    for service in list(_live_services):
+        service._reset_for_child()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix containers
+    os.register_at_fork(after_in_child=_reset_services_after_fork)
 
 
 # -- process-wide default service ---------------------------------------------------

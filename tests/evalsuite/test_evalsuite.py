@@ -53,8 +53,15 @@ class TestPassAtK:
 
     def test_mean(self):
         assert mean_pass_at_k([(2, 1), (2, 2)], 1) == pytest.approx(0.75)
-        with pytest.raises(EvaluationError):
-            mean_pass_at_k([], 1)
+
+    def test_mean_empty_bank_is_zero_like_accuracy(self):
+        # Consistent with EvalResult.accuracy() on an empty outcome list:
+        # reporting over a filtered-empty tier must not crash.
+        assert mean_pass_at_k([], 1) == 0.0
+        empty = EvalResult(label="empty", outcomes=[])
+        assert empty.accuracy() == 0.0
+        assert empty.pass_at_k(1) == 0.0
+        assert empty.accuracy_by_tier() == {}
 
 
 class TestBanks:
@@ -128,6 +135,39 @@ class TestRunner:
         low, high = result.confidence_interval()
         assert low <= result.accuracy() <= high
         assert result.pass_at_k(1) == pytest.approx(result.accuracy(), abs=1e-9)
+        # Every suite task carries a reference or a checker, so no sample
+        # should be counted as a success without a semantic verdict.
+        assert result.semantic_unknown_count() == 0
+        assert result.semantic_unknown_rate() == 0.0
+
+    def test_accuracy_by_tier_skips_empty_tiers(self):
+        result = EvalResult(
+            label="tiers",
+            outcomes=[
+                TaskOutcome("t1", "basic", "bell", 2, 2, 1, [1, 1]),
+                # A tier whose outcomes carry zero samples must yield *no*
+                # entry — not a fake 0.0 accuracy.
+                TaskOutcome("t2", "advanced", "qft", 0, 0, 0, []),
+            ],
+        )
+        tiers = result.accuracy_by_tier()
+        assert tiers == {"basic": pytest.approx(0.5)}
+        assert "advanced" not in tiers
+
+    def test_semantic_unknown_is_surfaced(self):
+        result = EvalResult(
+            label="unknown",
+            outcomes=[
+                TaskOutcome(
+                    "t1", "basic", "bell", 4, 4, 3, [1] * 4, semantic_unknown=2
+                ),
+                TaskOutcome("t2", "basic", "ghz", 4, 4, 4, [1] * 4),
+            ],
+        )
+        assert result.semantic_unknown_count() == 2
+        assert result.semantic_unknown_rate() == pytest.approx(0.25)
+        rendered = comparison_table([result]).render()
+        assert "Ungraded" in rendered
 
     def test_display_label(self):
         settings_ = PipelineSettings(ModelConfig("3b", True), max_passes=3)

@@ -26,6 +26,20 @@ def test_eval_arm_runs(capsys):
     assert "Accuracy" in out and "ft" in out
 
 
+def test_eval_workers_bit_identical_to_serial(capsys):
+    assert main(["eval", "ft", "--samples", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert (
+        main(["eval", "ft", "--samples", "1", "--workers", "2", "--progress"])
+        == 0
+    )
+    captured = capsys.readouterr()
+    # Same table, byte for byte: the parallel engine is deterministic.
+    assert captured.out == serial_out
+    # The --progress meter renders on stderr, not in the table.
+    assert "chunks" in captured.err
+
+
 def test_demo_runs(capsys):
     assert main(["demo", "--seed", "3"]) == 0
     out = capsys.readouterr().out
