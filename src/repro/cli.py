@@ -22,7 +22,20 @@ Commands
                            ``--max-bytes/--max-entries/--max-age`` bounds)
                            the on-disk result cache
 ``cache-server``           serve a cache directory over HTTP so a fleet of
-                           workers shares one warm store
+                           workers shares one warm store (``--token`` requires
+                           shared-token auth on every endpoint)
+``eval-server <arm>``      evaluate one arm as a *distribution coordinator*:
+                           serves the result cache and leases episode chunks
+                           to remote ``eval-worker`` processes, falling back
+                           to the local pool when none attach; results are
+                           bit-identical to ``eval`` for any topology
+``eval-worker``            attach to an ``eval-server`` (``--url``), lease
+                           and execute episode chunks, share its cache
+``eval ... --distributed`` shorthand: start an ephemeral coordinator around
+                           one ``eval`` run; ``report --distributed`` does
+                           the same for the evaluation drivers (figure3,
+                           table1, multipass — the other sections stay on
+                           the local pool)
 """
 
 from __future__ import annotations
@@ -59,36 +72,172 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _resolve_token(token: str | None) -> str | None:
+    """An explicit ``--token`` wins (``--token ""`` means deliberately
+    open); an omitted flag falls back to ``REPRO_CACHE_TOKEN``."""
+    from repro.quantum.execution.remote_cache import resolve_token
+
+    return resolve_token(token)
+
+
+def _served_dir(cache_dir: str | None) -> tuple[str, bool]:
+    """The store a coordinator serves: explicit flag, else ``REPRO_CACHE_DIR``,
+    else a fresh temp dir.  The flag says "ephemeral — remove when done"."""
+    import os
+    import tempfile
+
+    from repro.quantum.execution.service import CACHE_DIR_ENV
+
+    explicit = cache_dir or os.environ.get(CACHE_DIR_ENV, "").strip()
+    if explicit:
+        return explicit, False
+    return tempfile.mkdtemp(prefix="repro-eval-server-"), True
+
+
+def _serve_store_locally(served: str) -> None:
+    """Point the default service's disk tier at the served store, so the
+    coordinator's own (fallback) execution reads a pre-warmed directory and
+    warms it for the workers — the same wiring ``eval --cache-dir`` does."""
+    from repro.quantum.execution import (
+        CacheLimits,
+        ExecutionService,
+        set_default_service,
+    )
+
+    set_default_service(
+        ExecutionService(cache_dir=served, cache_limits=CacheLimits.from_env()),
+        shutdown_previous=True,
+    )
+
+
+def _stop_coordinator(coordinator, served: str, ephemeral: bool) -> None:
+    import shutil
+
+    coordinator.stop()
+    if ephemeral:
+        # Nothing outlives an ad-hoc coordinator: drop its temp store (and
+        # any service handle onto it) instead of littering /tmp per run.
+        from repro.quantum.execution import set_default_service
+
+        set_default_service(None, shutdown_previous=True)
+        shutil.rmtree(served, ignore_errors=True)
+
+
+def _start_coordinator(
+    served: str,
+    host: str,
+    port: int,
+    token: str | None,
+    fallback_workers: int | None = None,
+    lease_timeout: float | None = None,
+):
+    """Boot an EvalCoordinator on a resolved store; announcements go to
+    stderr so eval tables on stdout stay byte-identical to the
+    non-distributed run."""
+    import sys
+
+    from repro.quantum.execution.dispatch import (
+        DEFAULT_LEASE_TIMEOUT,
+        EvalCoordinator,
+    )
+
+    coordinator = EvalCoordinator(
+        served,
+        host=host,
+        port=port,
+        token=token,
+        fallback_workers=fallback_workers,
+        lease_timeout=lease_timeout or DEFAULT_LEASE_TIMEOUT,
+    ).start()
+    print(
+        f"coordinator serving cache + work queue at {coordinator.url} "
+        f"(store: {served}{', token auth on' if token else ''})",
+        file=sys.stderr,
+    )
+    print(
+        f"attach workers:  repro eval-worker --url {coordinator.url}"
+        + (" --token <token>" if token else ""),
+        file=sys.stderr,
+    )
+    return coordinator
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.generate_report import collect, render
 
-    sections = collect(samples_per_task=args.samples, workers=args.workers)
+    coordinator = None
+    if args.distributed:
+        served, ephemeral = _served_dir(None)
+        _serve_store_locally(served)
+        coordinator = _start_coordinator(
+            served, "127.0.0.1", args.port, _resolve_token(args.token),
+            fallback_workers=args.workers,
+        )
+    try:
+        if coordinator is not None:
+            from repro.evalsuite import distributed
+
+            with distributed(coordinator):
+                sections = collect(
+                    samples_per_task=args.samples, workers=args.workers
+                )
+        else:
+            sections = collect(
+                samples_per_task=args.samples, workers=args.workers
+            )
+    finally:
+        if coordinator is not None:
+            _stop_coordinator(coordinator, served, ephemeral)
     with open(args.path, "w") as handle:
         handle.write(render(sections))
     print(f"wrote {args.path} ({len(sections)} sections)")
     return 0
 
 
+def _arm_settings(arm: str, samples: int):
+    """The one arm → PipelineSettings mapping shared by every eval-ish
+    command (``eval`` and ``eval-server`` must evaluate identical
+    configurations or their byte-identical guarantee is meaningless);
+    ``None`` for an unknown arm, after printing the choices."""
+    from repro.evalsuite import PipelineSettings
+    from repro.llm.faults import ModelConfig
+
+    if arm not in ARMS:
+        print(f"unknown arm '{arm}'; choose from {sorted(ARMS)}")
+        return None
+    return PipelineSettings(
+        ModelConfig("3b", **ARMS[arm]),
+        max_passes=3 if arm == "mp3" else 1,
+        samples_per_task=samples,
+        label=arm,
+    )
+
+
 def _cmd_eval(args) -> int:
     from repro.evalsuite import (
-        PipelineSettings,
         build_suite,
         comparison_table,
         evaluate,
         execution_stats_table,
         progress_printer,
     )
-    from repro.llm.faults import ModelConfig
     from repro.quantum.execution import (
         ExecutionService,
         default_service,
         set_default_service,
     )
 
-    if args.arm not in ARMS:
-        print(f"unknown arm '{args.arm}'; choose from {sorted(ARMS)}")
+    settings = _arm_settings(args.arm, args.samples)
+    if settings is None:
         return 2
-    if args.cache_dir or args.remote_cache or args.executor:
+    served, ephemeral = None, False
+    if args.distributed:
+        # The coordinator's served store doubles as this run's disk tier,
+        # so the local (fallback) execution warms exactly what the workers
+        # read and a pre-warmed store is actually consulted.
+        served, ephemeral = _served_dir(args.cache_dir)
+    cache_dir = args.cache_dir or served
+    if cache_dir or args.remote_cache or args.executor:
         # Rebuild the shared service with the requested persistence/executor;
         # everything downstream (sandboxed programs, graders, QEC memory
         # experiments) funnels through it.  The REPRO_CACHE_MAX_* bounds
@@ -97,27 +246,32 @@ def _cmd_eval(args) -> int:
 
         set_default_service(
             ExecutionService(
-                cache_dir=args.cache_dir or None,
+                cache_dir=cache_dir or None,
                 cache_limits=(
-                    CacheLimits.from_env() if args.cache_dir else None
+                    CacheLimits.from_env() if cache_dir else None
                 ),
                 remote_url=args.remote_cache or None,
                 executor=args.executor or "thread",
             ),
             shutdown_previous=True,
         )
-    settings = PipelineSettings(
-        ModelConfig("3b", **ARMS[args.arm]),
-        max_passes=3 if args.arm == "mp3" else 1,
-        samples_per_task=args.samples,
-        label=args.arm,
-    )
-    result = evaluate(
-        settings,
-        build_suite(),
-        workers=args.workers,
-        progress=progress_printer(args.arm) if args.progress else None,
-    )
+    coordinator = None
+    if args.distributed:
+        coordinator = _start_coordinator(
+            served, "127.0.0.1", args.port,
+            _resolve_token(args.token), fallback_workers=args.workers,
+        )
+    try:
+        result = evaluate(
+            settings,
+            build_suite(),
+            workers=args.workers,
+            progress=progress_printer(args.arm) if args.progress else None,
+            coordinator=coordinator,
+        )
+    finally:
+        if coordinator is not None:
+            _stop_coordinator(coordinator, served, ephemeral)
     print(comparison_table([result]).render())
     if args.exec_stats:
         print()
@@ -248,13 +402,16 @@ def _cmd_cache_server(args) -> int:
         print(f"no cache dir: pass --dir or set {CACHE_DIR_ENV}")
         return 2
     limits = _limits_from_args(args)
+    token = _resolve_token(args.token)
     server = CacheServer(
-        cache_dir, host=args.host, port=args.port, limits=limits, quiet=False
+        cache_dir, host=args.host, port=args.port, limits=limits,
+        quiet=False, token=token,
     )
     print(
         f"serving execution result cache {cache_dir} "
         f"({len(server.disk)} entries) at {server.url}"
         + (f" with limits {limits}" if limits is not None else "")
+        + (" [token auth on]" if token else "")
     )
     print("point workers at it:  repro eval <arm> --remote-cache "
           f"{server.url}   (or REPRO_CACHE_URL={server.url})")
@@ -264,6 +421,89 @@ def _cmd_cache_server(args) -> int:
         print("\nshutting down")
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_eval_server(args) -> int:
+    from repro.evalsuite import (
+        build_suite,
+        comparison_table,
+        evaluate,
+        execution_stats_table,
+        progress_printer,
+    )
+
+    settings = _arm_settings(args.arm, args.samples)
+    if settings is None:
+        return 2
+    served, ephemeral = _served_dir(args.dir)
+    # The coordinator's own (fallback) execution must read and warm the
+    # store it serves, exactly like `eval --cache-dir` would.
+    _serve_store_locally(served)
+    coordinator = _start_coordinator(
+        served, args.host, args.port, _resolve_token(args.token),
+        fallback_workers=args.fallback_workers,
+        lease_timeout=args.lease_timeout,
+    )
+    try:
+        result = evaluate(
+            settings,
+            build_suite(),
+            progress=progress_printer(args.arm) if args.progress else None,
+            coordinator=coordinator,
+        )
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 1
+    finally:
+        _stop_coordinator(coordinator, served, ephemeral)
+    print(comparison_table([result]).render())
+    if args.exec_stats:
+        print()
+        print(execution_stats_table([result]).render())
+    return 0
+
+
+def _cmd_eval_worker(args) -> int:
+    import sys
+
+    from repro.quantum.execution import (
+        ExecutionService,
+        RemoteResultCache,
+        ResultCache,
+        set_default_service,
+    )
+    from repro.quantum.execution.dispatch import run_worker
+
+    token = _resolve_token(args.token)
+    cache_url = None if args.no_remote_cache else (args.remote_cache or args.url)
+    if cache_url:
+        # The coordinator serves the fleet cache on the same port, so by
+        # default a worker shares results through the very server that hands
+        # it work — zero simulations against a warm store.
+        remote = RemoteResultCache(cache_url, token=token)
+        set_default_service(
+            ExecutionService(cache=ResultCache(remote=remote)),
+            shutdown_previous=True,
+        )
+        print(f"sharing execution results via {cache_url}", file=sys.stderr)
+    print(
+        f"serving coordinator {args.url} with {args.workers} worker "
+        f"thread(s)",
+        file=sys.stderr,
+    )
+    try:
+        completed = run_worker(
+            args.url,
+            token=token,
+            workers=args.workers,
+            max_idle=args.max_idle,
+            poll_interval=args.poll_interval,
+        )
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+        return 0
+    print(f"completed {completed} chunk(s)", file=sys.stderr)
     return 0
 
 
@@ -317,6 +557,24 @@ def main(argv: list[str] | None = None) -> int:
         help="worker-pool size for the experiment drivers (bit-identical "
         "results for any N; default: $REPRO_EVAL_WORKERS or serial)",
     )
+    report_parser.add_argument(
+        "--distributed", action="store_true",
+        help="start a work-distribution coordinator and lease the "
+        "evaluation drivers' episode chunks (figure3, table1, multipass) "
+        "to attached eval-workers; figure2 decode shots, figure4 and the "
+        "ablations keep using the local pool (bit-identical results "
+        "either way; the local pool is also the fallback when no worker "
+        "attaches)",
+    )
+    report_parser.add_argument(
+        "--port", type=int, default=8751,
+        help="coordinator listen port for --distributed (0: ephemeral)",
+    )
+    report_parser.add_argument(
+        "--token", default=None,
+        help="shared auth token for --distributed "
+        "(default: $REPRO_CACHE_TOKEN, else open)",
+    )
 
     eval_parser = sub.add_parser("eval", help="evaluate one arm on the suite")
     eval_parser.add_argument("arm")
@@ -348,6 +606,21 @@ def main(argv: list[str] | None = None) -> int:
     eval_parser.add_argument(
         "--executor", choices=("thread", "process"), default=None,
         help="worker-pool strategy for cache misses (default: thread)",
+    )
+    eval_parser.add_argument(
+        "--distributed", action="store_true",
+        help="start a work-distribution coordinator for this run and lease "
+        "episode chunks to attached eval-workers (results stay "
+        "bit-identical; the local pool is the fallback when none attach)",
+    )
+    eval_parser.add_argument(
+        "--port", type=int, default=8751,
+        help="coordinator listen port for --distributed (0: ephemeral)",
+    )
+    eval_parser.add_argument(
+        "--token", default=None,
+        help="shared auth token for --distributed "
+        "(default: $REPRO_CACHE_TOKEN, else open)",
     )
 
     demo_parser = sub.add_parser("demo", help="one verbose generation episode")
@@ -392,6 +665,11 @@ def main(argv: list[str] | None = None) -> int:
         "--port", type=int, default=8750,
         help="listen port (0 binds an ephemeral port)",
     )
+    server_parser.add_argument(
+        "--token", default=None,
+        help="require this shared token on every endpoint "
+        "(default: $REPRO_CACHE_TOKEN, else open)",
+    )
     for bounded in (cache_parser, server_parser):
         bounded.add_argument(
             "--max-bytes", dest="max_bytes", type=int, default=None,
@@ -406,6 +684,81 @@ def main(argv: list[str] | None = None) -> int:
             help="evict entries idle for more than this many seconds",
         )
 
+    eval_server = sub.add_parser(
+        "eval-server",
+        help="evaluate one arm as a distribution coordinator "
+        "(cache + work queue on one port; workers attach with eval-worker)",
+    )
+    eval_server.add_argument("arm")
+    eval_server.add_argument("--samples", type=int, default=4)
+    eval_server.add_argument(
+        "--dir", default=None,
+        help="cache directory to serve alongside the work queue "
+        "(default: $REPRO_CACHE_DIR, else a temp dir)",
+    )
+    eval_server.add_argument("--host", default="127.0.0.1")
+    eval_server.add_argument(
+        "--port", type=int, default=8751,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    eval_server.add_argument(
+        "--token", default=None,
+        help="require this shared token on every cache and work endpoint "
+        "(default: $REPRO_CACHE_TOKEN, else open)",
+    )
+    eval_server.add_argument(
+        "--lease-timeout", dest="lease_timeout", type=float, default=None,
+        help="seconds a leased chunk may go without a heartbeat before it "
+        "is requeued (default: 30)",
+    )
+    eval_server.add_argument(
+        "--fallback-workers", dest="fallback_workers", type=int, default=None,
+        help="local pool size when no remote worker attaches "
+        "(0 disables local fallback; default: $REPRO_EVAL_WORKERS or 1)",
+    )
+    eval_server.add_argument(
+        "--progress", action="store_true",
+        help="render a live chunk-completion meter on stderr",
+    )
+    eval_server.add_argument(
+        "--exec-stats", action="store_true", dest="exec_stats",
+        help="also print per-arm ExecutionService counters",
+    )
+
+    eval_worker = sub.add_parser(
+        "eval-worker",
+        help="lease and execute episode chunks from an eval-server",
+    )
+    eval_worker.add_argument(
+        "--url", required=True, help="coordinator URL (from eval-server)"
+    )
+    eval_worker.add_argument(
+        "--token", default=None,
+        help="shared auth token (default: $REPRO_CACHE_TOKEN)",
+    )
+    eval_worker.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent chunk-execution threads",
+    )
+    eval_worker.add_argument(
+        "--max-idle", dest="max_idle", type=float, default=None,
+        help="exit after this many seconds without work (default: poll "
+        "until Ctrl-C)",
+    )
+    eval_worker.add_argument(
+        "--poll-interval", dest="poll_interval", type=float, default=0.2,
+        help="pause between lease attempts on an empty queue",
+    )
+    eval_worker.add_argument(
+        "--remote-cache", dest="remote_cache", default=None, metavar="URL",
+        help="share execution results with this cache server "
+        "(default: the coordinator itself, which serves the cache too)",
+    )
+    eval_worker.add_argument(
+        "--no-remote-cache", dest="no_remote_cache", action="store_true",
+        help="do not attach any remote cache tier",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "experiments": _cmd_experiments,
@@ -416,6 +769,8 @@ def main(argv: list[str] | None = None) -> int:
         "backends": _cmd_backends,
         "cache": _cmd_cache,
         "cache-server": _cmd_cache_server,
+        "eval-server": _cmd_eval_server,
+        "eval-worker": _cmd_eval_worker,
     }
     return handlers[args.command](args)
 

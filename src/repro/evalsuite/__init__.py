@@ -11,8 +11,11 @@ from repro.evalsuite.reporting import (
 )
 from repro.evalsuite.runner import (
     EvalResult,
+    LocalChunkSource,
     PipelineSettings,
+    RemoteChunkSource,
     TaskOutcome,
+    distributed,
     evaluate,
     evaluate_many,
 )
@@ -20,7 +23,9 @@ from repro.evalsuite.suite import Task, build_suite, build_task
 
 __all__ = [
     "EvalResult",
+    "LocalChunkSource",
     "PipelineSettings",
+    "RemoteChunkSource",
     "Task",
     "TaskOutcome",
     "accuracy_bars",
@@ -28,6 +33,7 @@ __all__ = [
     "build_suite",
     "build_task",
     "comparison_table",
+    "distributed",
     "evaluate",
     "evaluate_many",
     "execution_stats_table",

@@ -23,11 +23,24 @@ activity in its own :class:`~repro.quantum.execution.scopes.StatsScope` and
 the engine sums the chunk scopes per arm, so ``EvalResult.execution_stats``
 is exact even when arms overlap in time — the racy before/after diff of the
 global ``service.stats()`` is gone.
+
+**Distribution.**  The engine is agnostic about *where* chunks run: a
+:class:`ChunkSource` maps ``_run_task_chunk`` over the ``(settings, task)``
+calls, and one folding loop consumes the ordered results.
+:class:`LocalChunkSource` is the in-process pool above;
+:class:`RemoteChunkSource` ships the same picklable chunks to ``repro
+eval-worker`` processes through an
+:class:`~repro.quantum.execution.dispatch.EvalCoordinator`'s lease queue
+(``evaluate(..., distribution="remote", coordinator=...)``, or ambient via
+:func:`distributed`).  Chunk determinism makes the two paths — and any mix
+of remote workers, local fallback, crashes and lease-expiry requeues —
+bit-identical.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.agents.codegen import CodeGenerationAgent, GenerationRequest
@@ -38,8 +51,8 @@ from repro.llm.faults import ModelConfig
 from repro.llm.model import SimulatedCodeLLM
 from repro.prompts.generator import ScaffoldGenerator
 from repro.quantum.execution.scopes import (
-    SCOPE_FIELDS,
     active_scopes,
+    fold_counts,
     isolated_scopes,
     stats_scope,
 )
@@ -263,11 +276,98 @@ def _run_task_chunk(settings: PipelineSettings, task: Task) -> tuple:
     return syntactic, full, semantic_unknown, passes_used, scope.as_dict()
 
 
+# -- where chunks run: the ChunkSource abstraction ---------------------------------
+
+
+@dataclass
+class LocalChunkSource:
+    """Run chunks on the in-process pool (fork → threads → inline serial)."""
+
+    workers: int = 1
+
+    def map(self, fn, calls, on_result=None) -> list:
+        return parallel_map(fn, calls, self.workers, on_result=on_result)
+
+
+class RemoteChunkSource:
+    """Run chunks through an :class:`~repro.quantum.execution.dispatch.
+    EvalCoordinator`'s lease queue: remote ``repro eval-worker`` processes
+    execute them (the coordinator's local fork pool takes over when none
+    attach), and results fold back in input order.
+
+    A payload that does not pickle (e.g. a task carrying a closure checker)
+    downgrades the whole run to the local thread pool — the same rule
+    :func:`~repro.utils.parallel.parallel_map` applies to its process pool —
+    so remote distribution never changes *whether* an evaluation succeeds,
+    only where it runs.
+    """
+
+    def __init__(self, coordinator, workers: int = 1) -> None:
+        self.coordinator = coordinator
+        self.workers = workers
+
+    def map(self, fn, calls, on_result=None) -> list:
+        from repro.quantum.execution.dispatch import encode_chunk
+
+        try:
+            payloads = [encode_chunk(fn, args) for args in calls]
+        except Exception:  # noqa: BLE001 - any pickling failure → run locally
+            return parallel_map(
+                fn, calls, self.workers, on_result=on_result, prefer="thread"
+            )
+        return self.coordinator.run_chunks(payloads, on_result=on_result)
+
+
+_distribution = threading.local()
+
+
+@contextmanager
+def distributed(coordinator):
+    """Route this thread's ``evaluate``/``evaluate_many`` calls through a
+    coordinator (``repro report --distributed`` wraps the whole experiment
+    sweep in one of these, so every driver distributes without new plumbing).
+    """
+    previous = getattr(_distribution, "coordinator", None)
+    _distribution.coordinator = coordinator
+    try:
+        yield coordinator
+    finally:
+        _distribution.coordinator = previous
+
+
+def ambient_coordinator():
+    """The coordinator installed by :func:`distributed` on this thread."""
+    return getattr(_distribution, "coordinator", None)
+
+
+def _resolve_chunk_source(
+    distribution: str | None, coordinator, workers: int
+):
+    if coordinator is None and distribution in (None, "remote"):
+        coordinator = ambient_coordinator()
+    if distribution is None:
+        distribution = "remote" if coordinator is not None else "local"
+    if distribution == "local":
+        return LocalChunkSource(workers)
+    if distribution == "remote":
+        if coordinator is None:
+            raise ValueError(
+                "distribution='remote' needs a coordinator: pass one, or "
+                "wrap the call in `with distributed(coordinator):`"
+            )
+        return RemoteChunkSource(coordinator, workers)
+    raise ValueError(
+        f"distribution must be 'local' or 'remote', got {distribution!r}"
+    )
+
+
 def evaluate_many(
     settings_list: list[PipelineSettings],
     tasks: list[Task],
     workers: int | None = None,
     progress=None,
+    distribution: str | None = None,
+    coordinator=None,
 ) -> list[EvalResult]:
     """Run several independent arms over one bank, sharing a worker pool.
 
@@ -278,12 +378,20 @@ def evaluate_many(
     the parallel paths are bit-identical to).  ``progress(done, total)`` is
     called as chunks complete.
 
+    ``distribution="remote"`` (or just passing/ambiently installing a
+    ``coordinator``) leases the identical chunks to remote eval workers via
+    the dispatch protocol instead; one folding loop consumes either source,
+    so outcomes and per-arm stats stay bit-identical to the serial run for
+    any worker topology — including crashed workers and expired leases,
+    which merely re-run a deterministic chunk.
+
     Per-arm ``execution_stats`` are the sum of the per-chunk stats scopes:
     exact and non-overlapping even though the arms run concurrently.  Any
     scopes ambient on the *calling* thread receive the same totals (via an
     explicit merge — chunks run scope-isolated), so ``with
     service.stats_scope() as s: evaluate(...)`` observes identical numbers
-    whether the episodes ran inline, on threads, or in worker processes.
+    whether the episodes ran inline, on threads, in worker processes, or on
+    another host.
     """
     arms = list(settings_list)
     caller_scopes = active_scopes()
@@ -291,22 +399,21 @@ def evaluate_many(
     resolved = resolve_workers(
         workers, max(setting_workers) if setting_workers else None
     )
+    source = _resolve_chunk_source(distribution, coordinator, resolved)
     calls = [(settings, task) for settings in arms for task in tasks]
     on_result = None
     if progress is not None:
         total = len(calls)
         on_result = lambda done, _result: progress(done, total)  # noqa: E731
-    chunk_results = parallel_map(
-        _run_task_chunk, calls, resolved, on_result=on_result
-    )
+    chunk_results = source.map(_run_task_chunk, calls, on_result=on_result)
     results = []
     for arm_index, settings in enumerate(arms):
         outcomes = []
-        stats = dict.fromkeys(SCOPE_FIELDS, 0)
-        for task_index, task in enumerate(tasks):
-            syntactic, full, unknown, passes_used, chunk_stats = chunk_results[
-                arm_index * len(tasks) + task_index
-            ]
+        arm_chunks = chunk_results[
+            arm_index * len(tasks) : (arm_index + 1) * len(tasks)
+        ]
+        for task, chunk in zip(tasks, arm_chunks):
+            syntactic, full, unknown, passes_used, _chunk_stats = chunk
             outcomes.append(
                 TaskOutcome(
                     case_id=task.case_id,
@@ -319,8 +426,7 @@ def evaluate_many(
                     semantic_unknown=unknown,
                 )
             )
-            for key in SCOPE_FIELDS:
-                stats[key] += int(chunk_stats.get(key, 0))
+        stats = fold_counts(chunk[4] for chunk in arm_chunks)
         for scope in caller_scopes:
             scope.merge(stats)
         results.append(
@@ -338,15 +444,26 @@ def evaluate(
     tasks: list[Task],
     workers: int | None = None,
     progress=None,
+    distribution: str | None = None,
+    coordinator=None,
 ) -> EvalResult:
     """Run one arm over a bank; deterministic given ``settings.base_seed``.
 
     ``workers=N`` fans the per-task chunks across N workers with outcomes
     **bit-identical** to the serial runner for any N (per-sample seeds are
-    order-independent via ``derive_seed``).  Grading runs through the shared
-    ExecutionService under per-chunk stats scopes, so the result carries the
-    arm's own simulation and cache counters — exact even while other arms
-    run concurrently — and a repeat run of an identical arm is served almost
-    entirely from the result cache.
+    order-independent via ``derive_seed``); ``distribution="remote"`` with a
+    running :class:`~repro.quantum.execution.dispatch.EvalCoordinator` ships
+    the same chunks to remote eval workers with the same guarantee.  Grading
+    runs through the shared ExecutionService under per-chunk stats scopes, so
+    the result carries the arm's own simulation and cache counters — exact
+    even while other arms run concurrently — and a repeat run of an identical
+    arm is served almost entirely from the result cache.
     """
-    return evaluate_many([settings], tasks, workers=workers, progress=progress)[0]
+    return evaluate_many(
+        [settings],
+        tasks,
+        workers=workers,
+        progress=progress,
+        distribution=distribution,
+        coordinator=coordinator,
+    )[0]

@@ -24,6 +24,12 @@ The cooperating pieces (see the per-module docstrings for detail):
   :class:`RemoteResultCache` client (``ExecutionService(remote_url=...)`` /
   ``REPRO_CACHE_URL``) that lets a fleet of workers on different machines
   share one warm store;
+* :mod:`~repro.quantum.execution.dispatch` — distributed work dispatch over
+  the same transport: a lease-based :class:`WorkQueue`, the
+  :class:`EvalCoordinator` (``repro eval-server`` — cache + work endpoints on
+  one port, one shared token) and the :func:`run_worker` loop behind ``repro
+  eval-worker``, which ship the eval engine's picklable episode chunks to
+  remote machines with results bit-identical to the serial runner;
 * :mod:`~repro.quantum.execution.pool` — picklable :class:`WorkUnit`\\ s and
   the child-process worker behind the process executor;
 * :mod:`~repro.quantum.execution.scopes` — attributable per-caller counters:
@@ -52,9 +58,19 @@ from repro.quantum.execution.cache import (
     noise_fingerprint,
 )
 from repro.quantum.execution.disk_cache import CacheLimits, DiskResultCache
+from repro.quantum.execution.dispatch import (
+    DispatchClient,
+    EvalCoordinator,
+    WorkQueue,
+    run_worker,
+)
 from repro.quantum.execution.jobs import ExecutionJob, JobStatus
 from repro.quantum.execution.pool import EXECUTOR_KINDS, WorkUnit, run_work_unit
-from repro.quantum.execution.remote_cache import CacheServer, RemoteResultCache
+from repro.quantum.execution.remote_cache import (
+    CACHE_TOKEN_ENV,
+    CacheServer,
+    RemoteResultCache,
+)
 from repro.quantum.execution.registry import (
     BackendProvider,
     get_backend,
@@ -78,9 +94,12 @@ from repro.quantum.execution.service import (
 
 __all__ = [
     "BackendProvider",
+    "CACHE_TOKEN_ENV",
     "CacheKey",
     "CacheLimits",
     "CacheServer",
+    "DispatchClient",
+    "EvalCoordinator",
     "ambient_seed",
     "CacheStats",
     "DiskResultCache",
@@ -93,7 +112,9 @@ __all__ = [
     "StatsScope",
     "stats_scope",
     "use_scope",
+    "WorkQueue",
     "WorkUnit",
+    "run_worker",
     "run_work_unit",
     "circuit_fingerprint",
     "default_service",

@@ -26,17 +26,26 @@ Client guarantees:
   silent no-op (put), never an error.  After a few consecutive failures the
   client stops calling out for a cooldown window, so a downed server costs a
   handful of timeouts, not one per execution;
+* **auth failures are loud** — the one exception to "never an error": a 401/403
+  raises :class:`~repro.errors.BackendError` immediately.  A wrong or missing
+  token is a configuration bug, and silently degrading it to misses-forever
+  would make a misconfigured fleet look like a permanently cold one;
 * **key verification on read** — downloaded entries are decoded against the
   requested key with the same
   :func:`~repro.quantum.execution.disk_cache.decode_entry` check the disk
   tier applies, so a stale or corrupted server can only ever produce misses.
 
 The server may be given :class:`~repro.quantum.execution.disk_cache.CacheLimits`
-to bound its store — uploads then evict LRU entries exactly like a local put.
+to bound its store — uploads then evict LRU entries exactly like a local put —
+and a shared ``token``: every endpoint (cache *and* the work-dispatch routes
+layered on this transport by :mod:`~repro.quantum.execution.dispatch`) then
+requires ``Authorization: Bearer <token>`` and answers 401 otherwise.  Clients
+take the token explicitly or from ``REPRO_CACHE_TOKEN``.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import re
@@ -47,6 +56,7 @@ import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING
 
+from repro.errors import BackendError
 from repro.quantum.execution.disk_cache import (
     CacheLimits,
     DiskResultCache,
@@ -58,8 +68,33 @@ from repro.quantum.execution.disk_cache import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.quantum.execution.cache import CacheKey
 
+#: Environment variable holding the fleet's shared cache/work auth token.
+CACHE_TOKEN_ENV = "REPRO_CACHE_TOKEN"
 #: Per-request timeout; cache traffic is tiny, so slow means broken.
 DEFAULT_TIMEOUT = 2.0
+
+
+def resolve_token(token: str | None) -> str | None:
+    """An explicit token wins; ``None`` falls back to ``REPRO_CACHE_TOKEN``;
+    empty strings mean "open"."""
+    if token is None:
+        return os.environ.get(CACHE_TOKEN_ENV, "").strip() or None
+    return token or None
+
+
+def bearer_headers(token: str | None, **extra: str) -> dict[str, str]:
+    """Request headers carrying the shared token (when one is set)."""
+    if token:
+        extra["Authorization"] = f"Bearer {token}"
+    return extra
+
+
+def raise_auth_error(kind: str, base_url: str, code: int) -> None:
+    """The one loud failure of the fleet clients: credential rejection."""
+    raise BackendError(
+        f"{kind} at {base_url} rejected credentials (HTTP {code}); "
+        f"pass a matching token or set {CACHE_TOKEN_ENV}"
+    )
 #: Consecutive failures before the client declares the server offline.
 OFFLINE_AFTER = 3
 #: How long an offline server is left alone before the next probe.
@@ -72,7 +107,14 @@ MAX_ENTRY_BYTES = 16 * 1024 * 1024
 
 
 class RemoteResultCache:
-    """``urllib`` client for a :class:`CacheServer`; never raises on I/O."""
+    """``urllib`` client for a :class:`CacheServer`; never raises on I/O.
+
+    The one deliberate exception: an auth rejection (401/403) raises
+    :class:`~repro.errors.BackendError` instead of degrading to a miss or
+    feeding the offline breaker like a transient 5xx — a bad ``token`` must
+    surface on the first request, not as a silently cold cache.  ``token``
+    falls back to the ``REPRO_CACHE_TOKEN`` environment variable.
+    """
 
     def __init__(
         self,
@@ -80,6 +122,7 @@ class RemoteResultCache:
         timeout: float = DEFAULT_TIMEOUT,
         offline_after: int = OFFLINE_AFTER,
         retry_interval: float = RETRY_INTERVAL,
+        token: str | None = None,
     ) -> None:
         if not base_url.startswith(("http://", "https://")):
             raise ValueError(
@@ -89,24 +132,31 @@ class RemoteResultCache:
         self.timeout = timeout
         self.offline_after = offline_after
         self.retry_interval = retry_interval
+        self.token = resolve_token(token)
         self.errors = 0
         self._consecutive = 0
         self._offline_until = 0.0
         self._lock = threading.Lock()
 
+    def _headers(self, **extra: str) -> dict[str, str]:
+        return bearer_headers(self.token, **extra)
+
     # -- store surface ---------------------------------------------------------------
 
     def get(self, key: "CacheKey") -> tuple[dict[str, int], list[str] | None] | None:
-        """Fetch and verify one entry; any failure is a miss."""
+        """Fetch and verify one entry; any failure but auth is a miss."""
         if self._offline():
             return None
-        request = urllib.request.Request(self._entry_url(key), method="GET")
+        request = urllib.request.Request(
+            self._entry_url(key), method="GET", headers=self._headers()
+        )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 body = response.read(MAX_ENTRY_BYTES + 1)
         except urllib.error.HTTPError as exc:
-            self._record_http_status(exc.code)
+            code = exc.code
             exc.close()
+            self._record_http_status(code)
             return None
         except (urllib.error.URLError, OSError, TimeoutError):
             self._record_failure()
@@ -123,7 +173,7 @@ class RemoteResultCache:
     def put(
         self, key: "CacheKey", counts: dict[str, int], memory: list[str] | None
     ) -> None:
-        """Upload one entry, best-effort; failures are swallowed."""
+        """Upload one entry, best-effort; failures but auth are swallowed."""
         if self._offline():
             return
         body = json.dumps(
@@ -133,14 +183,15 @@ class RemoteResultCache:
             self._entry_url(key),
             data=body,
             method="PUT",
-            headers={"Content-Type": "application/json"},
+            headers=self._headers(**{"Content-Type": "application/json"}),
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 response.read()
         except urllib.error.HTTPError as exc:
-            self._record_http_status(exc.code)
+            code = exc.code
             exc.close()
+            self._record_http_status(code)
         except (urllib.error.URLError, OSError, TimeoutError):
             self._record_failure()
         else:
@@ -148,11 +199,18 @@ class RemoteResultCache:
 
     def stats(self) -> dict | None:
         """The server's ``/stats`` document, or ``None`` when unreachable."""
+        request = urllib.request.Request(
+            f"{self.base_url}/stats", headers=self._headers()
+        )
         try:
-            with urllib.request.urlopen(
-                f"{self.base_url}/stats", timeout=self.timeout
-            ) as response:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            code = exc.code
+            exc.close()
+            if code in (401, 403):
+                self._raise_auth(code)
+            return None
         except (urllib.error.URLError, OSError, TimeoutError, ValueError):
             return None
 
@@ -169,11 +227,19 @@ class RemoteResultCache:
         """4xx means the server is alive and spoke (a miss/rejection —
         nothing to retry); 5xx means it is broken and must count towards the
         offline breaker, or a dead proxy would cost one round-trip per
-        execution forever."""
+        execution forever.  401/403 is neither: the server is alive but the
+        *client* is misconfigured, so raise rather than let an auth failure
+        masquerade as a cold cache or trip the breaker like a transient 5xx.
+        """
+        if code in (401, 403):
+            self._raise_auth(code)
         if code >= 500:
             self._record_failure()
         else:
             self._record_success()
+
+    def _raise_auth(self, code: int) -> None:
+        raise_auth_error("remote cache", self.base_url, code)
 
     def _record_success(self) -> None:
         with self._lock:
@@ -194,10 +260,34 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     """Routes ``/entry/<digest>`` and ``/stats`` onto a DiskResultCache."""
 
     disk: DiskResultCache  # set by the per-server subclass
+    token: str | None = None  # shared fleet token; None leaves the server open
     quiet = True
     protocol_version = "HTTP/1.1"
 
+    def _authorized(self) -> bool:
+        """Check the shared token (constant-time); answers 401 when it fails.
+
+        Every route of every server built on this transport — the cache
+        endpoints here and the ``/work`` dispatch endpoints layered on in
+        :mod:`~repro.quantum.execution.dispatch` — calls this first, so no
+        endpoint can be forgotten when one grows a new verb.
+        """
+        if not self.token:
+            return True
+        supplied = self.headers.get("Authorization", "")
+        # Compare as bytes: compare_digest on str raises TypeError for
+        # non-ASCII input, which would crash the handler instead of 401ing.
+        if hmac.compare_digest(
+            supplied.encode("utf-8", "surrogateescape"),
+            f"Bearer {self.token}".encode("utf-8", "surrogateescape"),
+        ):
+            return True
+        self._send_json(401, {"error": "unauthorized"})
+        return False
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if not self._authorized():
+            return
         if self.path == "/stats":
             self._send_json(
                 200,
@@ -228,6 +318,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        if not self._authorized():
+            return
         match = _DIGEST.search(self.path)
         if match is None:
             self._send_json(404, {"error": "unknown path"})
@@ -272,6 +364,13 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths (401 auth, 400 malformed) may leave the request
+            # body unread; on a keep-alive connection those stale bytes
+            # would be parsed as the next request.  Drop the connection so
+            # a pooling client re-connects cleanly.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
@@ -286,8 +385,17 @@ class CacheServer:
     ``port=0`` binds an ephemeral port (read it back from ``.port`` /
     ``.url``) — used by tests and by co-located fleets that publish the URL
     out-of-band.  ``start()`` serves from a daemon thread;
-    :meth:`serve_forever` blocks (the CLI path).
+    :meth:`serve_forever` blocks (the CLI path).  A non-empty ``token``
+    requires ``Authorization: Bearer <token>`` on every endpoint.
+
+    Subclasses may serve extra routes by overriding :attr:`handler_class`
+    (a :class:`_CacheRequestHandler` subclass) and :meth:`_handler_attrs`
+    (extra class attributes bound onto the per-server handler) — this is how
+    :class:`~repro.quantum.execution.dispatch.EvalCoordinator` layers the
+    work-distribution endpoints onto the same transport, auth included.
     """
+
+    handler_class: type[_CacheRequestHandler] = _CacheRequestHandler
 
     def __init__(
         self,
@@ -296,17 +404,28 @@ class CacheServer:
         port: int = 0,
         limits: CacheLimits | None = None,
         quiet: bool = True,
+        token: str | None = None,
     ) -> None:
         self.disk = DiskResultCache(cache_dir, limits=limits)
+        self.token = token or None
 
         handler = type(
-            "_BoundCacheRequestHandler",
-            (_CacheRequestHandler,),
-            {"disk": self.disk, "quiet": quiet},
+            f"_Bound{self.handler_class.__name__}",
+            (self.handler_class,),
+            {
+                "disk": self.disk,
+                "quiet": quiet,
+                "token": self.token,
+                **self._handler_attrs(),
+            },
         )
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
+
+    def _handler_attrs(self) -> dict:
+        """Extra class attributes for the bound request handler (hook)."""
+        return {}
 
     @property
     def host(self) -> str:

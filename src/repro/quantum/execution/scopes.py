@@ -89,6 +89,23 @@ class StatsScope:
         return f"StatsScope({label}{body or 'empty'})"
 
 
+def fold_counts(dicts: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Sum counter dicts into one complete ``SCOPE_FIELDS`` dict.
+
+    The cross-process/cross-host half of scope accounting: a worker runs its
+    chunk under a local scope, ships ``scope.as_dict()`` home (through a
+    pickle pipe or the dispatch protocol's JSON — the dicts are plain
+    ``str -> int``), and the engine folds the snapshots per owner.  Unknown
+    fields are ignored and missing ones count as zero, so snapshots from a
+    worker running a different build still fold safely.
+    """
+    totals = dict.fromkeys(SCOPE_FIELDS, 0)
+    for counts in dicts:
+        for field in SCOPE_FIELDS:
+            totals[field] += int(counts.get(field, 0))
+    return totals
+
+
 _stack = threading.local()
 
 

@@ -7,7 +7,6 @@ concurrent ``evaluate`` calls is gone.
 """
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
 
 import pytest
 

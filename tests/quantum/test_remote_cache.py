@@ -194,6 +194,118 @@ class TestClientHardening:
             RemoteResultCache("ftp://somewhere")
 
 
+class TestAuth:
+    """Shared-token auth: every endpoint, wrong/missing token, env wiring."""
+
+    def _get(self, url, token=None):
+        request = urllib.request.Request(url)
+        if token:
+            request.add_header("Authorization", f"Bearer {token}")
+        return urllib.request.urlopen(request, timeout=2)
+
+    def test_missing_or_wrong_token_is_401_on_every_endpoint(self, tmp_path):
+        """Cache routes *and* the work-dispatch routes layered on the same
+        transport answer 401 to anything but the exact token."""
+        import base64
+
+        from repro.quantum.execution import EvalCoordinator
+
+        with EvalCoordinator(
+            tmp_path, token="fleet-secret", fallback_workers=0
+        ) as server:
+            endpoints = [
+                ("GET", f"/entry/{key_digest(_key())}", None),
+                ("PUT", f"/entry/{key_digest(_key())}",
+                 json.dumps(encode_entry(_key(), {"0": 1}, None)).encode()),
+                ("GET", "/stats", None),
+                ("GET", "/work/status", None),
+                ("POST", "/work/lease", b'{"worker": "w"}'),
+                ("POST", "/work/heartbeat", b'{"lease": 1}'),
+                ("POST", "/work/complete",
+                 json.dumps({"lease": 1, "result": base64.b64encode(
+                     b"x").decode()}).encode()),
+            ]
+            for token in (None, "wrong-token"):
+                for method, path, body in endpoints:
+                    request = urllib.request.Request(
+                        f"{server.url}{path}", data=body, method=method
+                    )
+                    if token:
+                        request.add_header(
+                            "Authorization", f"Bearer {token}"
+                        )
+                    with pytest.raises(urllib.error.HTTPError) as info:
+                        urllib.request.urlopen(request, timeout=2)
+                    assert info.value.code == 401, (token, method, path)
+            # Nothing leaked into the store through any unauthorized route.
+            assert len(server.disk) == 0
+
+    def test_correct_token_roundtrips(self, tmp_path):
+        with CacheServer(tmp_path, token="fleet-secret") as server:
+            client = RemoteResultCache(server.url, token="fleet-secret")
+            client.put(_key(), {"00": 32, "11": 32}, None)
+            assert client.get(_key()) == ({"00": 32, "11": 32}, None)
+            assert client.stats()["entries"] == 1
+            assert client.errors == 0
+
+    def test_client_auth_failure_raises_instead_of_miss(self, tmp_path):
+        """Regression (satellite): a 401/403 must fail fast and loudly —
+        not degrade to a silent miss, and not feed the offline breaker like
+        a transient 5xx."""
+        from repro.errors import BackendError
+
+        with CacheServer(tmp_path, token="fleet-secret") as server:
+            client = RemoteResultCache(server.url)  # no token at all
+            with pytest.raises(BackendError, match="credentials"):
+                client.get(_key())
+            with pytest.raises(BackendError, match="credentials"):
+                client.put(_key(), {"0": 1}, None)
+            with pytest.raises(BackendError, match="REPRO_CACHE_TOKEN"):
+                client.stats()
+            # The breaker was never engaged: an auth failure is not an
+            # offline server, and retries keep raising rather than being
+            # served as instant local misses.
+            assert client.errors == 0
+            with pytest.raises(BackendError):
+                client.get(_key())
+
+    def test_env_token_wiring(self, tmp_path, monkeypatch):
+        """REPRO_CACHE_TOKEN flows into clients built without an explicit
+        token — including the service's remote tier."""
+        monkeypatch.setenv("REPRO_CACHE_TOKEN", "fleet-secret")
+        with CacheServer(tmp_path, token="fleet-secret") as server:
+            client = RemoteResultCache(server.url)
+            client.put(_key(), {"0": 64}, None)
+            assert client.get(_key()) == ({"0": 64}, None)
+            assert client.errors == 0
+
+            service = ExecutionService(max_workers=1, remote_url=server.url)
+            assert service.cache.remote.token == "fleet-secret"
+            counts = service.run(
+                bell_pair(measure=True), shots=40, seed=3
+            ).result()
+            assert sum(counts.get_counts().values()) == 40
+            assert service.stats()["cache_remote_errors"] == 0
+            service.shutdown()
+
+    def test_explicit_token_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_TOKEN", "from-env")
+        assert RemoteResultCache("http://x:1", token="explicit").token == (
+            "explicit"
+        )
+        monkeypatch.delenv("REPRO_CACHE_TOKEN")
+        assert RemoteResultCache("http://x:1").token is None
+
+    def test_open_server_ignores_supplied_tokens(self, tmp_path):
+        """A token-less server stays compatible with token-bearing clients
+        (rolling out auth across a fleet worker-by-worker)."""
+        with CacheServer(tmp_path) as server:
+            client = RemoteResultCache(server.url, token="anything")
+            client.put(_key(), {"0": 8}, None)
+            assert client.get(_key()) == ({"0": 8}, None)
+            assert client.errors == 0
+
+
 class TestServiceWiring:
     def test_dead_server_never_fails_execution(self):
         service = ExecutionService(

@@ -259,3 +259,28 @@ class TestSandboxAttribution:
         sys.stdout.isatty()  # delegates without raising
         print("after-sandbox")  # plain printing still works end-to-end
         assert "after-sandbox" in capsys.readouterr().out
+
+
+class TestFoldCounts:
+    def test_folds_snapshots_including_cross_host_shapes(self):
+        from repro.quantum.execution.scopes import fold_counts
+
+        folded = fold_counts(
+            [
+                {"simulations": 2, "cache_hits": 1},
+                # A remote worker's snapshot: JSON round-trip may carry
+                # extra/missing fields — ignored and zero-filled.
+                {"simulations": 1, "cache_misses": 3, "unknown_field": 9},
+                {},
+            ]
+        )
+        assert folded["simulations"] == 3
+        assert folded["cache_hits"] == 1
+        assert folded["cache_misses"] == 3
+        assert "unknown_field" not in folded
+        assert set(folded) == set(SCOPE_FIELDS)
+
+    def test_empty_fold_is_all_zero(self):
+        from repro.quantum.execution.scopes import fold_counts
+
+        assert fold_counts([]) == dict.fromkeys(SCOPE_FIELDS, 0)

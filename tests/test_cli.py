@@ -138,6 +138,108 @@ def test_eval_remote_cache_flag_makes_second_worker_warm(tmp_path, capsys):
             set_default_service(None)
 
 
+def test_eval_distributed_flag_byte_identical_to_serial(capsys):
+    """--distributed spins an ephemeral coordinator around the run; with no
+    workers attached the local fallback drains it and the printed table is
+    byte-for-byte the serial one (announcements go to stderr)."""
+    assert main(["eval", "ft", "--samples", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(["eval", "ft", "--samples", "1", "--distributed",
+                 "--port", "0"]) == 0
+    captured = capsys.readouterr()
+    assert captured.out == serial_out
+    assert "eval-worker --url" in captured.err
+
+
+def test_eval_server_matches_serial_eval_table(tmp_path, capsys):
+    from repro.quantum.execution import DiskResultCache, set_default_service
+
+    assert main(["eval", "ft", "--samples", "1"]) == 0
+    serial_out = capsys.readouterr().out
+    try:
+        assert main(
+            ["eval-server", "ft", "--samples", "1", "--dir", str(tmp_path),
+             "--port", "0", "--fallback-workers", "2"]
+        ) == 0
+    finally:
+        set_default_service(None, shutdown_previous=True)
+    captured = capsys.readouterr()
+    assert captured.out == serial_out
+    assert "coordinator serving cache + work queue" in captured.err
+    # The coordinator's own execution warms the store it serves (regression:
+    # --dir used to be served to workers but ignored by the local service).
+    assert len(DiskResultCache(tmp_path)) > 0
+
+
+def test_eval_server_unknown_arm(tmp_path):
+    assert main(["eval-server", "vibes", "--dir", str(tmp_path)]) == 2
+
+
+def test_eval_worker_leases_and_completes_chunks(tmp_path, capsys):
+    from repro.quantum.execution import EvalCoordinator, set_default_service
+    from repro.quantum.execution.dispatch import encode_chunk
+
+    with EvalCoordinator(
+        tmp_path, fallback_workers=0, lease_timeout=5.0
+    ) as coordinator:
+        coordinator.queue.add_chunks(
+            [encode_chunk(_triple, (i,)) for i in range(3)]
+        )
+        try:
+            assert main(
+                ["eval-worker", "--url", coordinator.url,
+                 "--workers", "2", "--max-idle", "0.5",
+                 "--poll-interval", "0.02"]
+            ) == 0
+        finally:
+            set_default_service(None, shutdown_previous=True)
+        assert "completed 3 chunk(s)" in capsys.readouterr().err
+        assert coordinator.queue.status()["done"] == 3
+
+
+def test_eval_worker_env_token_wiring(tmp_path, monkeypatch, capsys):
+    """REPRO_CACHE_TOKEN authenticates a worker (and its cache tier) with no
+    --token flag — the satellite's env-wiring guarantee."""
+    from repro.quantum.execution import EvalCoordinator, set_default_service
+    from repro.quantum.execution.dispatch import encode_chunk
+
+    monkeypatch.setenv("REPRO_CACHE_TOKEN", "fleet-secret")
+    with EvalCoordinator(
+        tmp_path, token="fleet-secret", fallback_workers=0, lease_timeout=5.0
+    ) as coordinator:
+        coordinator.queue.add_chunks([encode_chunk(_triple, (14,))])
+        try:
+            assert main(
+                ["eval-worker", "--url", coordinator.url,
+                 "--max-idle", "0.5", "--poll-interval", "0.02"]
+            ) == 0
+        finally:
+            set_default_service(None, shutdown_previous=True)
+        assert coordinator.queue.status()["done"] == 1
+
+
+def test_eval_worker_wrong_token_fails_loudly(tmp_path):
+    from repro.errors import BackendError
+    from repro.quantum.execution import EvalCoordinator, set_default_service
+
+    with EvalCoordinator(
+        tmp_path, token="fleet-secret", fallback_workers=0
+    ) as coordinator:
+        try:
+            with pytest.raises(BackendError, match="credentials"):
+                main(
+                    ["eval-worker", "--url", coordinator.url,
+                     "--token", "wrong", "--no-remote-cache",
+                     "--max-idle", "5"]
+                )
+        finally:
+            set_default_service(None, shutdown_previous=True)
+
+
+def _triple(x):
+    return x * 3
+
+
 def test_cache_command_without_dir(monkeypatch, capsys):
     monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     assert main(["cache"]) == 2
