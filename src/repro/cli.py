@@ -15,7 +15,9 @@ Commands
                            so a repeat run simulates nothing, ``--remote-cache
                            URL`` shares a warm store across machines,
                            ``--executor process`` fans simulation across
-                           worker processes
+                           worker processes and ``--executor batch`` runs
+                           compatible cache misses on the vectorised
+                           batch-axis engine
 ``demo``                   one multi-agent generation episode, verbose
 ``backends``               list registered execution backends and aliases
 ``cache``                  inspect, ``--clear``, or ``--prune`` (with
@@ -224,6 +226,7 @@ def _cmd_eval(args) -> int:
     from repro.quantum.execution import (
         ExecutionService,
         default_service,
+        executor_from_env,
         set_default_service,
     )
 
@@ -251,7 +254,7 @@ def _cmd_eval(args) -> int:
                     CacheLimits.from_env() if cache_dir else None
                 ),
                 remote_url=args.remote_cache or None,
-                executor=args.executor or "thread",
+                executor=args.executor or executor_from_env(),
             ),
             shutdown_previous=True,
         )
@@ -280,6 +283,8 @@ def _cmd_eval(args) -> int:
         line = (
             f"service totals: {stats.get('simulations', 0)} simulations, "
             f"{stats.get('simulations_deduped', 0)} deduped, "
+            f"{stats.get('simulations_batched', 0)} batched "
+            f"({stats.get('batch_groups', 0)} groups), "
             f"{stats.get('cache_hits', 0)} cache hits "
             f"({stats.get('cache_disk_hits', 0)} from disk, "
             f"{stats.get('cache_remote_hits', 0)} from remote), "
@@ -471,6 +476,7 @@ def _cmd_eval_worker(args) -> int:
         ExecutionService,
         RemoteResultCache,
         ResultCache,
+        executor_from_env,
         set_default_service,
     )
     from repro.quantum.execution.dispatch import run_worker
@@ -482,8 +488,13 @@ def _cmd_eval_worker(args) -> int:
         # default a worker shares results through the very server that hands
         # it work — zero simulations against a warm store.
         remote = RemoteResultCache(cache_url, token=token)
+        # REPRO_EXECUTOR still applies: a fleet can run its workers with
+        # executor=batch (or process) while sharing one remote store.
         set_default_service(
-            ExecutionService(cache=ResultCache(remote=remote)),
+            ExecutionService(
+                cache=ResultCache(remote=remote),
+                executor=executor_from_env(),
+            ),
             shutdown_previous=True,
         )
         print(f"sharing execution results via {cache_url}", file=sys.stderr)
@@ -527,6 +538,8 @@ def _cmd_backends(_args) -> int:
     print(
         f"\nexecution service [{stats.get('executor', 'thread')}]: "
         f"{stats.get('simulations', 0)} simulations, "
+        f"{stats.get('simulations_batched', 0)} batched "
+        f"({stats.get('batch_groups', 0)} groups), "
         f"{stats.get('cache_hits', 0)} cache hits "
         f"({stats.get('cache_hit_rate', 0.0):.0%} hit rate)"
         + (
@@ -604,8 +617,9 @@ def main(argv: list[str] | None = None) -> int:
         "URL (a cold worker pointed at a warm server simulates nothing)",
     )
     eval_parser.add_argument(
-        "--executor", choices=("thread", "process"), default=None,
-        help="worker-pool strategy for cache misses (default: thread)",
+        "--executor", choices=("thread", "process", "batch"), default=None,
+        help="strategy for cache misses: thread pool, process pool, or the "
+        "vectorised batch engine (default: $REPRO_EXECUTOR or thread)",
     )
     eval_parser.add_argument(
         "--distributed", action="store_true",

@@ -89,6 +89,7 @@ def execution_stats_table(
             "Arm",
             "Simulations",
             "Deduped",
+            "Batched",
             "Cache hits",
             "Disk hits",
             "Remote hits",
@@ -107,6 +108,7 @@ def execution_stats_table(
                 result.label,
                 stats.get("simulations", 0),
                 stats.get("simulations_deduped", 0),
+                stats.get("simulations_batched", 0),
                 hits,
                 stats.get("cache_disk_hits", 0),
                 stats.get("cache_remote_hits", 0),

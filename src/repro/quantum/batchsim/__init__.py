@@ -1,0 +1,60 @@
+"""``repro.quantum.batchsim`` — the vectorised batch statevector engine.
+
+A numpy batch-axis simulator behind ``ExecutionService(executor="batch")``:
+compatible cache-miss work units (same compacted gate structure and qubit
+count; per-unit seed/shots/parameters distinct) evolve together as a
+``(batch, 2**n)`` state with one stacked matmul per gate, and noisy units
+batch across their *shots* by pre-drawing the serial noise stream.  Results
+are bit-identical to the serial engine per ``(seed, circuit, shots, noise)``
+— the batch axis is an execution detail, never an observable one.
+
+The cooperating pieces:
+
+* :mod:`~repro.quantum.batchsim.state` — the ``(batch, 2**n)`` state
+  container and the bit-exact stacked-matmul gate kernel;
+* :mod:`~repro.quantum.batchsim.planner` — groups miss units by compacted
+  gate structure and classifies them ``ideal`` / ``shots`` / ``serial``,
+  mirroring the serial engine's own path choice;
+* :mod:`~repro.quantum.batchsim.engine` — executes ideal groups (shared
+  evolution, per-unit sampling) and shot-batched noisy trajectories
+  (pre-drawn noise tables, per-Pauli sub-batches), tiled under a memory cap;
+* :mod:`~repro.quantum.batchsim.dispatcher` — the service-facing entry that
+  runs one group against a backend's noise model.
+
+The :class:`~repro.quantum.execution.service.ExecutionService` drives all of
+this transparently: submissions, caching, single-flight dedup and counters
+are unchanged, and ``simulations_batched`` / ``batch_groups`` in
+``service.stats()`` report how much work took the vectorised path.
+"""
+
+from repro.quantum.batchsim.dispatcher import dispatch
+from repro.quantum.batchsim.engine import MAX_BATCH_AMPLITUDES, execute_group
+from repro.quantum.batchsim.planner import (
+    IDEAL,
+    SERIAL,
+    SHOTS,
+    PlannedGroup,
+    PlannedUnit,
+    batchable_backend,
+    make_unit,
+    plan,
+    structure_fingerprint,
+)
+from repro.quantum.batchsim.state import BatchStatevector, batch_apply_matrix
+
+__all__ = [
+    "BatchStatevector",
+    "IDEAL",
+    "MAX_BATCH_AMPLITUDES",
+    "PlannedGroup",
+    "PlannedUnit",
+    "SERIAL",
+    "SHOTS",
+    "batch_apply_matrix",
+    "batchable_backend",
+    "dispatch",
+    "execute_group",
+    "make_unit",
+    "plan",
+    "structure_fingerprint",
+]

@@ -1,0 +1,27 @@
+"""Dispatch planned groups through the batch engine.
+
+The thin seam between the :class:`~repro.quantum.execution.service.
+ExecutionService` — which owns caching, single-flight leadership and stats
+accounting per unit — and the pure numerics in :mod:`~repro.quantum.batchsim.
+engine`.  The engine never sees a backend (only its noise model), so it can
+be exercised and property-tested without any execution machinery.
+"""
+
+from __future__ import annotations
+
+from repro.quantum.backend import Backend
+from repro.quantum.batchsim.engine import execute_group
+from repro.quantum.batchsim.planner import PlannedGroup
+
+
+def dispatch(
+    backend: Backend, group: PlannedGroup, memory: bool
+) -> list[tuple[dict[str, int], list[str] | None]]:
+    """Execute one batchable group against a backend's noise model.
+
+    Returns per-unit ``(counts, memory)`` pairs aligned with
+    ``group.units``; each pair is bit-identical to what
+    ``backend.execute_circuit(unit.circuit, unit.shots, unit.seed, memory)``
+    would have produced.
+    """
+    return execute_group(backend.noise_model, group, memory)

@@ -1,0 +1,133 @@
+"""Group cache-miss work units into batchable execution groups.
+
+The planner decides *what may share a batch*, and nothing else — it never
+changes results, because grouping only ever shares work that is provably
+identical (the gate structure) while everything sample-relevant (seed, shots,
+parameters) stays per unit.  Eligibility mirrors the serial engine's own path
+choice on the compacted circuit, so a unit batches exactly when
+``simulate_counts`` would have taken the corresponding path:
+
+* **ideal** — fast-path circuits (no nontrivial noise, final measurements
+  only), grouped by :func:`structure_fingerprint`: same gate names, qubits,
+  clbits and conditions, parameters free.  The engine evolves the whole group
+  on one batch axis and samples each unit with its own generator.
+* **shots** — trajectory-path circuits whose noise-draw schedule is
+  state-independent (:func:`~repro.quantum.simulator.trajectory_draw_plan`
+  returns a plan).  Each unit is its own group; the batch axis runs across
+  its shots.
+* **serial** — everything else: conditional instructions (draw schedule
+  depends on measured bits), circuits beyond the dense-width cap (the serial
+  path raises the canonical error per unit), and any backend that overrides
+  ``execute_circuit`` (its semantics are its own; see
+  :func:`batchable_backend`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quantum.backend import Backend
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.simulator import (
+    MAX_DENSE_QUBITS,
+    _compact,
+    _is_fast_path,
+    trajectory_draw_plan,
+)
+from repro.utils.rng import stable_hash
+
+#: Group kinds, in dispatch-preference order.
+IDEAL = "ideal"
+SHOTS = "shots"
+SERIAL = "serial"
+
+
+@dataclass
+class PlannedUnit:
+    """One cache-miss work unit, annotated for batch execution."""
+
+    index: int  #: slot in the submitting batch (result ordering)
+    circuit: QuantumCircuit  #: as submitted; the serial fallback runs this
+    compacted: QuantumCircuit  #: touched qubits relabelled to 0..k-1
+    key: object | None  #: the service's CacheKey, or None when uncacheable
+    seed: int | None
+    shots: int
+
+
+@dataclass
+class PlannedGroup:
+    """Units that one engine dispatch may execute together."""
+
+    kind: str
+    units: list[PlannedUnit]
+
+
+def make_unit(
+    index: int,
+    circuit: QuantumCircuit,
+    key: object | None,
+    seed: int | None,
+    shots: int,
+) -> PlannedUnit:
+    """Annotate one miss with its compacted circuit (the planner's view)."""
+    return PlannedUnit(index, circuit, _compact(circuit), key, seed, shots)
+
+
+def batchable_backend(backend: Backend) -> bool:
+    """Only the stock ``Backend.execute_circuit`` can be replayed in batch.
+
+    A subclass that overrides the execution primitive (e.g. the QEC
+    memory-experiment backend) owns its own semantics; replaying such units
+    through the batch engine would silently drop the override, so the planner
+    sends them down the serial path instead.
+    """
+    return type(backend).execute_circuit is Backend.execute_circuit
+
+
+def structure_fingerprint(circuit: QuantumCircuit) -> str:
+    """Hash of the gate *structure*: everything the full circuit fingerprint
+    covers except parameters, so two sweep points of one ansatz group
+    together while arbitrary-angle rotations stay distinct per unit."""
+    payload = (
+        circuit.num_qubits,
+        circuit.num_clbits,
+        tuple(
+            (inst.name, inst.qubits, inst.clbits, inst.condition)
+            for inst in circuit
+        ),
+    )
+    return f"{stable_hash('structure', payload):016x}"
+
+
+def plan(backend: Backend, units: list[PlannedUnit]) -> list[PlannedGroup]:
+    """Partition miss units into batchable groups plus one serial fallback.
+
+    Group order is deterministic (first appearance of each structure), and
+    the serial group, when present, comes last.
+    """
+    if not units:
+        return []
+    if not batchable_backend(backend):
+        return [PlannedGroup(SERIAL, list(units))]
+    noise = backend.noise_model
+    ideal: dict[str, PlannedGroup] = {}
+    groups: list[PlannedGroup] = []
+    serial: list[PlannedUnit] = []
+    for unit in units:
+        compacted = unit.compacted
+        if compacted.num_qubits > MAX_DENSE_QUBITS:
+            serial.append(unit)  # serial path raises the canonical error
+        elif _is_fast_path(compacted, noise):
+            fingerprint = structure_fingerprint(compacted)
+            group = ideal.get(fingerprint)
+            if group is None:
+                group = ideal[fingerprint] = PlannedGroup(IDEAL, [])
+                groups.append(group)
+            group.units.append(unit)
+        elif trajectory_draw_plan(compacted, noise) is not None:
+            groups.append(PlannedGroup(SHOTS, [unit]))
+        else:
+            serial.append(unit)
+    if serial:
+        groups.append(PlannedGroup(SERIAL, serial))
+    return groups

@@ -8,8 +8,10 @@ The cooperating pieces (see the per-module docstrings for detail):
 * :mod:`~repro.quantum.execution.service` — the :class:`ExecutionService`
   worker pool that accepts batched submissions and returns async
   :class:`ExecutionJob` handles (``QUEUED -> RUNNING -> DONE/ERROR``), with
-  a pluggable ``executor="thread"|"process"`` strategy and single-flight
-  deduplication of concurrent identical executions;
+  a pluggable ``executor="thread"|"process"|"batch"`` strategy (``batch``
+  groups compatible misses onto the vectorised engine in
+  :mod:`repro.quantum.batchsim`) and single-flight deduplication of
+  concurrent identical executions;
 * :mod:`~repro.quantum.execution.cache` — a content-addressed
   :class:`ResultCache` keyed by circuit/backend/shots/seed/noise fingerprints,
   with hit/miss counters surfaced through ``service.stats()``;
@@ -89,6 +91,7 @@ from repro.quantum.execution.service import (
     ambient_seed,
     default_service,
     execute,
+    executor_from_env,
     set_default_service,
 )
 
@@ -119,6 +122,7 @@ __all__ = [
     "circuit_fingerprint",
     "default_service",
     "execute",
+    "executor_from_env",
     "get_backend",
     "list_backends",
     "noise_fingerprint",

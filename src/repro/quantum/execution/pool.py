@@ -33,8 +33,11 @@ from repro.errors import BackendError
 from repro.quantum.backend import Backend
 from repro.quantum.circuit import QuantumCircuit
 
-#: Executor strategies accepted by ``ExecutionService(executor=...)``.
-EXECUTOR_KINDS = ("thread", "process")
+#: Executor strategies accepted by ``ExecutionService(executor=...)``:
+#: ``thread`` (default pool), ``process`` (this module's picklable work
+#: units), and ``batch`` (the vectorised grouping engine in
+#: :mod:`repro.quantum.batchsim`).
+EXECUTOR_KINDS = ("thread", "process", "batch")
 
 
 class WorkUnit(NamedTuple):

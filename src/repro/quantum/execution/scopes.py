@@ -43,6 +43,8 @@ from contextlib import contextmanager
 SCOPE_FIELDS = (
     "simulations",
     "simulations_deduped",
+    "simulations_batched",
+    "batch_groups",
     "cache_hits",
     "cache_misses",
     "cache_disk_hits",

@@ -33,7 +33,12 @@ compatibility shim) submits work here, which buys:
   ``ProcessPoolExecutor`` as picklable work units (see
   :mod:`~repro.quantum.execution.pool`) for real parallelism on dense
   statevector sweeps, falling back to in-process execution for backends that
-  cannot be reconstructed by name in a child;
+  cannot be reconstructed by name in a child; ``executor="batch"`` groups
+  compatible misses (same compacted gate structure) and simulates each group
+  on one vectorised batch axis (see :mod:`repro.quantum.batchsim`), with
+  results bit-identical to the serial engine per ``(seed, circuit)`` and the
+  ``simulations_batched`` / ``batch_groups`` counters reporting how much
+  work took the vectorised path;
 * **single-flight simulation** — concurrent misses on an identical cache key
   elect one leader to simulate while the rest wait for its cache fill
   (``simulations_deduped`` in :meth:`ExecutionService.stats`), so a batch of
@@ -66,6 +71,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 
 from repro.errors import BackendError
+from repro.quantum import batchsim
 from repro.quantum.backend import Backend, Result
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.execution.cache import (
@@ -226,6 +232,8 @@ class ExecutionService:
         self._circuits_executed = 0
         self._simulations = 0
         self._simulations_deduped = 0
+        self._simulations_batched = 0
+        self._batch_groups = 0
         _live_services.add(self)
 
     # -- public API --------------------------------------------------------------
@@ -270,6 +278,20 @@ class ExecutionService:
             self._finalize(batch)
             return job
         pool = self._ensure_pool()
+        if self.executor == "batch":
+            # One pool task per planned group: compatible misses simulate
+            # together on the batch axis, everything else falls back to the
+            # per-unit worker with identical semantics.
+            for group in self._plan_misses(target, misses, shots):
+                if group.kind == batchsim.SERIAL:
+                    for unit in group.units:
+                        pool.submit(
+                            self._worker, batch, target, unit.index,
+                            unit.circuit, unit.key, unit.seed, shots, memory,
+                        )
+                else:
+                    pool.submit(self._batch_worker, batch, target, group, memory)
+            return job
         for index, qc, key, eff_seed in misses:
             pool.submit(
                 self._worker, batch, target, index, qc, key, eff_seed, shots, memory
@@ -295,6 +317,15 @@ class ExecutionService:
         job._mark_running()
         scopes = active_scopes()
         noise_fp = noise_fingerprint(target.noise_model)
+        if self.executor == "batch":
+            counts_list, memory_list = self._run_batched(
+                target, batch_circuits, shots, seed, memory, noise_fp, scopes, job
+            )
+            self._account(len(batch_circuits))
+            job._mark_done(
+                Result(counts_list, memory_list, target.name, shots, seed)
+            )
+            return job
         counts_list: list[dict[str, int]] = []
         memory_list: list[list[str] | None] = []
         for index, qc in enumerate(batch_circuits):
@@ -342,6 +373,8 @@ class ExecutionService:
                 "circuits_executed": self._circuits_executed,
                 "simulations": self._simulations,
                 "simulations_deduped": self._simulations_deduped,
+                "simulations_batched": self._simulations_batched,
+                "batch_groups": self._batch_groups,
                 "executor": self.executor,
             }
         if self.cache is not None:
@@ -554,6 +587,171 @@ class ExecutionService:
         if last:
             self._finalize(batch)
 
+    # -- batch executor strategy ------------------------------------------------
+
+    def _plan_misses(
+        self,
+        target: Backend,
+        misses: list[tuple[int, QuantumCircuit, CacheKey | None, int | None]],
+        shots: int,
+    ) -> list["batchsim.PlannedGroup"]:
+        units = [
+            batchsim.make_unit(index, qc, key, eff_seed, shots)
+            for index, qc, key, eff_seed in misses
+        ]
+        return batchsim.plan(target, units)
+
+    def _run_batched(
+        self,
+        target: Backend,
+        circuits: list[QuantumCircuit],
+        shots: int,
+        seed: int | None,
+        memory: bool,
+        noise_fp: str,
+        scopes: tuple[StatsScope, ...],
+        job: ExecutionJob,
+    ) -> tuple[list[dict[str, int]], list[list[str] | None]]:
+        """Synchronous batch execution: probe everything up front, then run
+        the planner's groups inline on the calling thread."""
+        slots: list[tuple[dict[str, int], list[str] | None] | None] = (
+            [None] * len(circuits)
+        )
+        misses: list[tuple[int, QuantumCircuit, CacheKey | None, int | None]] = []
+        for index, qc in enumerate(circuits):
+            eff_seed = self._effective_seed(seed, index)
+            key = self._cache_key(qc, target, shots, eff_seed, noise_fp, memory)
+            cached = self.cache.get(key, scopes) if key is not None else None
+            if cached is not None:
+                slots[index] = cached
+                job.cache_hits += 1
+            else:
+                misses.append((index, qc, key, eff_seed))
+        for group in self._plan_misses(target, misses, shots):
+            if group.kind == batchsim.SERIAL:
+                for unit in group.units:
+                    counts, mem, source = self._lookup_or_simulate(
+                        target, unit.circuit, unit.shots, unit.seed, memory,
+                        unit.key, probe=False, scopes=scopes,
+                    )
+                    if source == "dedup":
+                        job.deduped += 1
+                    slots[unit.index] = (counts, mem)
+            else:
+                resolved = self._execute_group(target, group, memory, scopes)
+                for index, (counts, mem, source) in resolved.items():
+                    if source == "dedup":
+                        job.deduped += 1
+                    slots[index] = (counts, mem)
+        return (
+            [slot[0] for slot in slots],  # type: ignore[index]
+            [slot[1] for slot in slots],  # type: ignore[index]
+        )
+
+    def _batch_worker(
+        self,
+        batch: _Batch,
+        backend: Backend,
+        group: "batchsim.PlannedGroup",
+        memory: bool,
+    ) -> None:
+        """Pool task that fills every slot of one planned group."""
+        job = batch.job
+        if not job._mark_running():
+            return  # cancelled (or already failed) before this group started
+        try:
+            resolved = self._execute_group(backend, group, memory, batch.scopes)
+        except BaseException as exc:  # noqa: BLE001 - relayed via job.result()
+            job._mark_error(exc)
+            return
+        with batch.lock:
+            for index, (counts, mem, source) in resolved.items():
+                if source == "dedup":
+                    job.deduped += 1
+                batch.slots[index] = (counts, mem)
+                batch.pending -= 1
+            last = batch.pending == 0
+        if last:
+            self._finalize(batch)
+
+    def _execute_group(
+        self,
+        backend: Backend,
+        group: "batchsim.PlannedGroup",
+        memory: bool,
+        scopes: tuple[StatsScope, ...],
+    ) -> dict[int, tuple[dict[str, int], list[str] | None, str]]:
+        """One batchable group through the cache and single-flight contracts.
+
+        Leadership is acquired *non-blocking* per unit: contested units —
+        some other thread is already simulating the identical key — are
+        deferred to the normal single-flight wait until after the group has
+        simulated and released every flight it leads, so this thread never
+        blocks while holding a leadership (no deadlock between two groups
+        contending for overlapping key sets).  Returns ``{submission index:
+        (counts, memory, source)}`` covering every unit of the group.
+        """
+        results: dict[int, tuple[dict[str, int], list[str] | None, str]] = {}
+        leaders: list[batchsim.PlannedUnit] = []
+        deferred: list[batchsim.PlannedUnit] = []
+        for unit in group.units:
+            if unit.key is None:
+                leaders.append(unit)  # uncacheable: nothing to coordinate
+                continue
+            if self._try_lead(unit.key):
+                # Re-probe silently, as _lookup_or_simulate does: the key may
+                # have been filled since the submit-time miss.
+                filled = self.cache.peek(unit.key)
+                if filled is not None:
+                    self._release_flight(unit.key)
+                    results[unit.index] = self._deduped(filled, scopes)
+                else:
+                    leaders.append(unit)
+            else:
+                deferred.append(unit)
+        try:
+            if leaders:
+                with self._lock:
+                    self._simulations += len(leaders)
+                    self._simulations_batched += len(leaders)
+                    self._batch_groups += 1
+                credit(scopes, "simulations", len(leaders))
+                credit(scopes, "simulations_batched", len(leaders))
+                credit(scopes, "batch_groups")
+                executed = batchsim.dispatch(
+                    backend, batchsim.PlannedGroup(group.kind, leaders), memory
+                )
+                for unit, (counts, mem) in zip(leaders, executed):
+                    if unit.key is not None:
+                        self.cache.put(unit.key, counts, mem, scopes)
+                    results[unit.index] = (counts, mem, "sim")
+        finally:
+            # On engine failure the flights release unfilled; waiters observe
+            # a failed leader and compete to retry, exactly as serially.
+            for unit in leaders:
+                if unit.key is not None:
+                    self._release_flight(unit.key)
+        for unit in deferred:
+            results[unit.index] = self._lookup_or_simulate(
+                backend, unit.circuit, unit.shots, unit.seed, memory, unit.key,
+                probe=False, scopes=scopes,
+            )
+        return results
+
+    def _try_lead(self, key: CacheKey) -> bool:
+        """Claim single-flight leadership for ``key`` without blocking."""
+        with self._lock:
+            if key in self._inflight:
+                return False
+            self._inflight[key] = threading.Event()
+            return True
+
+    def _release_flight(self, key: CacheKey) -> None:
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
     def _finalize(self, batch: _Batch) -> None:
         job = batch.job
         if job.done():
@@ -633,25 +831,34 @@ _default: ExecutionService | None = None
 _default_lock = threading.Lock()
 
 
+def executor_from_env(default: str = "thread") -> str:
+    """The executor strategy named by ``REPRO_EXECUTOR`` (or ``default``).
+
+    Shared by every entry point that builds its *own* service — the CLI eval
+    command, distributed eval workers, the fleet example — so one environment
+    variable picks the strategy uniformly across a fleet.  Validation stays
+    in :class:`ExecutionService` (unknown names raise there).
+    """
+    return os.environ.get(EXECUTOR_ENV, "").strip().lower() or default
+
+
 def default_service() -> ExecutionService:
     """The shared process-wide :class:`ExecutionService` (lazily created).
 
     Honours ``REPRO_CACHE_DIR`` (persistent disk cache tier, bounded by
     ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_ENTRIES`` /
     ``REPRO_CACHE_MAX_AGE``), ``REPRO_CACHE_URL`` (shared remote tier) and
-    ``REPRO_EXECUTOR`` (``thread``/``process`` strategy) so headless runs —
-    CI, ``repro report``, repeated evalsuite arms, fleet workers — can be
-    warm-started and parallelised without touching call sites.  Explicitly
-    constructed services ignore the environment.
+    ``REPRO_EXECUTOR`` (``thread``/``process``/``batch`` strategy) so
+    headless runs — CI, ``repro report``, repeated evalsuite arms, fleet
+    workers — can be warm-started and parallelised without touching call
+    sites.  Explicitly constructed services ignore the environment.
     """
     global _default
     with _default_lock:
         if _default is None:
             cache_dir = os.environ.get(CACHE_DIR_ENV, "").strip() or None
             remote_url = os.environ.get(CACHE_URL_ENV, "").strip() or None
-            executor = (
-                os.environ.get(EXECUTOR_ENV, "").strip().lower() or "thread"
-            )
+            executor = executor_from_env()
             _default = ExecutionService(
                 cache_dir=cache_dir,
                 cache_limits=(

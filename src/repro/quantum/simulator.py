@@ -27,6 +27,13 @@ from repro.quantum.statevector import (
 #: Hard cap for dense simulation; 2**20 complex amplitudes = 16 MiB.
 MAX_DENSE_QUBITS = 20
 
+#: Tolerance on the total probability mass of a measurement distribution.
+#: Honest rounding drift over a dense evolution is orders of magnitude
+#: smaller; mass outside this band means the state was corrupted upstream
+#: (a non-unitary "gate" matrix, manual state surgery) and sampling from it
+#: would silently launder the corruption into plausible-looking counts.
+NORM_ATOL = 1e-6
+
 _PAULI_MATRICES = {
     "x": _gates.X_MATRIX,
     "y": _gates.Y_MATRIX,
@@ -93,26 +100,64 @@ def _is_fast_path(circuit: QuantumCircuit, noise: NoiseModel | None) -> bool:
     return not touched_after_measure
 
 
+def bit_rows_to_strings(rows: np.ndarray) -> list[str]:
+    """Decode a ``(shots, width)`` array of ASCII digit codes into bitstrings.
+
+    One decode over the whole block instead of a per-shot ``str.join`` — the
+    assembly half of sampling is pure bookkeeping and should cost like it.
+    """
+    shots, width = rows.shape
+    if width == 0:
+        return [""] * shots
+    buf = np.ascontiguousarray(rows.astype(np.uint8, copy=False)).tobytes()
+    text = buf.decode("ascii")
+    return [text[i * width : (i + 1) * width] for i in range(shots)]
+
+
+def sample_from_state(
+    state: Statevector,
+    mapping: dict[int, int],
+    num_clbits: int,
+    shots: int,
+    rng: np.random.Generator,
+) -> list[str]:
+    """Sample ``shots`` bitstrings from the measured qubits of a final state.
+
+    ``mapping`` is ``measured_qubit_to_clbit()`` of the original circuit.
+    Consumes exactly one ``rng.choice`` call, so the sampled stream is a pure
+    function of ``(state, mapping, shots, rng state)`` — which is what lets
+    the batch engine share one evolved state across many per-unit generators
+    and still match the serial engine bit for bit.
+    """
+    if not mapping:
+        return ["0" * num_clbits] * shots if num_clbits else [""] * shots
+    qubits = list(mapping.keys())
+    probs = state.probabilities(qubits)
+    total = float(probs.sum())
+    if abs(total - 1.0) > NORM_ATOL:
+        raise SimulationError(
+            f"measurement distribution sums to {total!r}, not 1; the state "
+            "lost normalisation upstream (non-unitary gate matrix?)"
+        )
+    # Dividing by a validated ~1.0 total only scrubs honest rounding dust;
+    # it keeps numpy's own (tighter) sum check in rng.choice satisfied.
+    outcome_idx = rng.choice(len(probs), size=shots, p=probs / total)
+    chars = np.full((shots, num_clbits), ord("0"), dtype=np.uint8)
+    for pos, q in enumerate(qubits):
+        clbit = mapping[q]
+        chars[:, num_clbits - 1 - clbit] = ord("0") + (
+            (outcome_idx >> pos) & 1
+        ).astype(np.uint8)
+    return bit_rows_to_strings(chars)
+
+
 def _fast_sample(
     circuit: QuantumCircuit, shots: int, rng: np.random.Generator
 ) -> list[str]:
     """Sample shots from the final statevector (ideal, final-measurement case)."""
     mapping = circuit.measured_qubit_to_clbit()
     state = Statevector.from_circuit(circuit.remove_all_measurements())
-    num_clbits = circuit.num_clbits
-    if not mapping:
-        return ["0" * num_clbits] * shots if num_clbits else [""] * shots
-    qubits = list(mapping.keys())
-    probs = state.probabilities(qubits)
-    outcome_idx = rng.choice(len(probs), size=shots, p=probs / probs.sum())
-    results = []
-    for idx in outcome_idx:
-        bits = ["0"] * num_clbits
-        for pos, q in enumerate(qubits):
-            clbit = mapping[q]
-            bits[num_clbits - 1 - clbit] = str((idx >> pos) & 1)
-        results.append("".join(bits))
-    return results
+    return sample_from_state(state, mapping, circuit.num_clbits, shots, rng)
 
 
 def _apply_gate_noise(
@@ -132,6 +177,42 @@ def _apply_gate_noise(
         if pauli is not None:
             state = apply_matrix(state, _PAULI_MATRICES[pauli], [q], num_qubits)
     return state
+
+
+def trajectory_draw_plan(
+    circuit: QuantumCircuit, noise: NoiseModel | None
+) -> list[int] | None:
+    """Per-instruction uniform-draw counts of one :func:`_run_trajectory` shot.
+
+    The trajectory path consumes ``rng.random()`` in a fixed, state-independent
+    order: a measurement draws its outcome plus one readout flip when the
+    qubit has a readout error; a reset draws its outcome; a unitary gate draws
+    one Pauli choice per touched qubit when a noise channel applies; barriers
+    draw nothing.  That fixed schedule is what lets the batch engine pre-draw
+    a ``(shots, total)`` table and replay the serial stream exactly.
+
+    Returns ``None`` when the schedule *is* state-dependent — conditional
+    instructions skip their draws when the condition fails — in which case
+    shots cannot be batched and the caller must fall back to the serial loop.
+    """
+    plan: list[int] = []
+    for inst in circuit:
+        if inst.condition is not None:
+            return None
+        if inst.name == "barrier":
+            plan.append(0)
+        elif inst.name == "measure":
+            draws = 1
+            if noise is not None and noise.readout_for(inst.qubits[0]) is not None:
+                draws += 1
+            plan.append(draws)
+        elif inst.name == "reset":
+            plan.append(1)
+        elif noise is not None and noise.channel_for(inst.name, inst.qubits) is not None:
+            plan.append(len(inst.qubits))
+        else:
+            plan.append(0)
+    return plan
 
 
 def _run_trajectory(
@@ -196,6 +277,13 @@ def simulate_counts(
         outcomes = _fast_sample(circuit, shots, rng)
     else:
         outcomes = [_run_trajectory(circuit, noise, rng) for _ in range(shots)]
+    return tally_counts(outcomes, memory)
+
+
+def tally_counts(
+    outcomes: list[str], memory: bool
+) -> tuple[dict[str, int], list[str] | None]:
+    """Fold per-shot bitstrings into ``(sorted counts, optional memory)``."""
     counts: dict[str, int] = {}
     for bits in outcomes:
         counts[bits] = counts.get(bits, 0) + 1
