@@ -19,6 +19,7 @@ from repro.agents.codegen import CodeGenerationAgent, GenerationRequest
 from repro.agents.sandbox import ExecutionResult, run_code
 from repro.llm.model import Completion
 from repro.prompts.templates import render_multipass, render_semantic_feedback
+from repro.quantum.analysis import analyze_circuit
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.statevector import Statevector
 from repro.utils.stats import total_variation_distance
@@ -39,6 +40,12 @@ class AnalysisReport:
     execution: ExecutionResult
     tvd: float | None = None
     detail: str = ""
+    #: The program was rejected by static analysis (``QA1xx``) — either the
+    #: execution service's strict pre-flight raised ``ValidationError``, or
+    #: the produced ``qc`` artifact carries analyzer errors.  Distinct from a
+    #: runtime failure: the code is *ill-formed*, not wrong, and grading it
+    #: burned zero simulations.
+    static_error: bool = False
 
     @property
     def passed(self) -> bool:
@@ -92,7 +99,13 @@ class SemanticAnalyzerAgent(Agent):
                 semantic_ok=None,
                 execution=execution,
                 detail=execution.trace,
+                # The service's strict pre-flight rejected the circuit before
+                # any simulation: the program is statically ill-formed.
+                static_error=execution.exception_type == "ValidationError",
             )
+        static = self._static_reject(execution)
+        if static is not None:
+            return static
         if checker is not None:
             try:
                 ok = bool(checker(execution.namespace))
@@ -178,6 +191,30 @@ class SemanticAnalyzerAgent(Agent):
             detail=f"TVD={tvd:.4f} (threshold {self.tvd_threshold})",
         )
 
+    def _static_reject(self, execution: ExecutionResult) -> AnalysisReport | None:
+        """Statically reject an otherwise-clean run whose ``qc`` is defective.
+
+        A generated program may build an ill-formed circuit without ever
+        executing it (the sandbox only runs the code; grading simulates the
+        artifact).  Analyzing the artifact catches ``QA1xx`` defects here and
+        skips grading entirely — zero simulations — so the evalsuite can
+        report ``static_error`` even with ``validate="off"`` services.
+        """
+        qc = execution.artifact("qc")
+        if not isinstance(qc, QuantumCircuit):
+            return None
+        analysis = analyze_circuit(qc)
+        if analysis.ok:
+            return None
+        rendered = "; ".join(d.render() for d in analysis.errors)
+        return AnalysisReport(
+            syntactic_ok=False,
+            semantic_ok=None,
+            execution=execution,
+            detail=f"static analysis rejected the circuit: {rendered}",
+            static_error=True,
+        )
+
     def _statevector(self, execution: ExecutionResult) -> Statevector | None:
         """A pure-state artifact, when the program produced one."""
         state = execution.artifact("state")
@@ -256,13 +293,14 @@ class SemanticAnalyzerAgent(Agent):
         passes = 1
         while passes < max_passes and not report.passed:
             if not report.syntactic_ok:
+                # Statically-rejected artifacts have no traceback; feed the
+                # analyzer's coded diagnostics to the repair pass instead.
+                trace = report.execution.trace or report.detail
                 rendered = render_multipass(
-                    request.prompt_text, completion.code, report.execution.trace
+                    request.prompt_text, completion.code, trace
                 )
                 repair_log.append(rendered.text[:200])
-                completion = codegen.repair(
-                    request, completion, report.execution.trace
-                )
+                completion = codegen.repair(request, completion, trace)
             elif semantic_feedback and report.semantic_ok is False:
                 rendered = render_semantic_feedback(
                     request.prompt_text, completion.code, report.detail

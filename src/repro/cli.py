@@ -19,6 +19,11 @@ Commands
                            compatible cache misses on the vectorised
                            batch-axis engine
 ``demo``                   one multi-agent generation episode, verbose
+``lint``                   run the static circuit analyzer over QASM files,
+                           one task's reference program (``--task``), or the
+                           whole task bank (``--suite``); prints coded
+                           diagnostics (QA1xx errors / QA2xx warnings /
+                           QA3xx info) and exits nonzero on errors
 ``backends``               list registered execution backends and aliases
 ``cache``                  inspect, ``--clear``, or ``--prune`` (with
                            ``--max-bytes/--max-entries/--max-age`` bounds)
@@ -228,6 +233,7 @@ def _cmd_eval(args) -> int:
         default_service,
         executor_from_env,
         set_default_service,
+        validate_from_env,
     )
 
     settings = _arm_settings(args.arm, args.samples)
@@ -240,7 +246,7 @@ def _cmd_eval(args) -> int:
         # read and a pre-warmed store is actually consulted.
         served, ephemeral = _served_dir(args.cache_dir)
     cache_dir = args.cache_dir or served
-    if cache_dir or args.remote_cache or args.executor:
+    if cache_dir or args.remote_cache or args.executor or args.validate:
         # Rebuild the shared service with the requested persistence/executor;
         # everything downstream (sandboxed programs, graders, QEC memory
         # experiments) funnels through it.  The REPRO_CACHE_MAX_* bounds
@@ -255,6 +261,7 @@ def _cmd_eval(args) -> int:
                 ),
                 remote_url=args.remote_cache or None,
                 executor=args.executor or executor_from_env(),
+                validate=args.validate or validate_from_env(),
             ),
             shutdown_previous=True,
         )
@@ -285,10 +292,13 @@ def _cmd_eval(args) -> int:
             f"{stats.get('simulations_deduped', 0)} deduped, "
             f"{stats.get('simulations_batched', 0)} batched "
             f"({stats.get('batch_groups', 0)} groups), "
+            f"{stats.get('programs_validated', 0)} validated "
+            f"({stats.get('rejected_static', 0)} rejected static), "
             f"{stats.get('cache_hits', 0)} cache hits "
             f"({stats.get('cache_disk_hits', 0)} from disk, "
             f"{stats.get('cache_remote_hits', 0)} from remote), "
-            f"executor={stats.get('executor', 'thread')}"
+            f"executor={stats.get('executor', 'thread')}, "
+            f"validate={stats.get('validate', 'off')}"
         )
         if "cache_dir" in stats:
             line += f", cache_dir={stats['cache_dir']}"
@@ -518,6 +528,95 @@ def _cmd_eval_worker(args) -> int:
     return 0
 
 
+def _lint_targets(args) -> tuple[list, int]:
+    """Resolve lint inputs to ``(label, circuit | None, failure)`` triples.
+
+    ``failure`` is a message for targets that never produced a circuit (an
+    unreadable/unparsable QASM file, a reference program that crashed); those
+    count as errors.  A reference program that runs clean but publishes no
+    ``qc`` artifact is skipped with a note, not failed — statevector-style
+    tasks are allowed to expose only ``state``/``counts``.
+    """
+    from repro.errors import ReproError
+    from repro.quantum.circuit import QuantumCircuit
+    from repro.quantum.qasm import qasm_to_circuit
+
+    targets: list = []
+    status = 0
+    for path in args.files:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as exc:
+            targets.append((path, None, f"cannot read: {exc}"))
+            continue
+        try:
+            targets.append((path, qasm_to_circuit(text), None))
+        except ReproError as exc:
+            targets.append((path, None, f"QASM parse failed: {exc}"))
+    if args.task or args.suite:
+        from repro.agents.sandbox import run_code
+        from repro.evalsuite import build_suite
+
+        tasks = build_suite()
+        if args.task:
+            tasks = [t for t in tasks if t.case_id == args.task]
+            if not tasks:
+                print(f"unknown task '{args.task}'; see the suite's case ids")
+                return targets, 2
+        for task in tasks:
+            label = f"task {task.case_id} ({task.case.family})"
+            execution = run_code(task.reference_code)
+            if not execution.ok:
+                targets.append(
+                    (label, None,
+                     f"reference program failed: {execution.exception_type}")
+                )
+                continue
+            qc = execution.artifact("qc")
+            if isinstance(qc, QuantumCircuit):
+                targets.append((label, qc, None))
+            else:
+                print(f"{label}: no 'qc' artifact; skipped")
+    return targets, status
+
+
+def _cmd_lint(args) -> int:
+    from repro.quantum.analysis import analyze_circuit
+    from repro.quantum.simulator import MAX_DENSE_QUBITS
+
+    if not args.files and not args.task and not args.suite:
+        print("nothing to lint: pass QASM files, --task ID, or --suite")
+        return 2
+    targets, status = _lint_targets(args)
+    if status:
+        return status
+    total_errors = 0
+    total_warnings = 0
+    linted = 0
+    for label, circuit, failure in targets:
+        if circuit is None:
+            print(f"{label}: ERROR {failure}")
+            total_errors += 1
+            continue
+        linted += 1
+        analysis = analyze_circuit(circuit, max_qubits=MAX_DENSE_QUBITS)
+        shown = analysis.diagnostics if args.verbose else [
+            d for d in analysis.diagnostics if d.severity != "info"
+        ]
+        total_errors += len(analysis.errors)
+        total_warnings += len(analysis.warnings)
+        marker = "ok" if analysis.ok else "FAIL"
+        print(f"{label}: {marker}")
+        for diagnostic in shown:
+            print(f"  {diagnostic.render()}")
+    print(
+        f"linted {linted} circuit(s): {total_errors} error(s), "
+        f"{total_warnings} warning(s)"
+    )
+    return 1 if total_errors else 0
+
+
 def _cmd_backends(_args) -> int:
     from repro.quantum.execution import default_service, get_backend, provider
 
@@ -536,10 +635,13 @@ def _cmd_backends(_args) -> int:
         )
     stats = default_service().stats()
     print(
-        f"\nexecution service [{stats.get('executor', 'thread')}]: "
+        f"\nexecution service [{stats.get('executor', 'thread')}, "
+        f"validate={stats.get('validate', 'off')}]: "
         f"{stats.get('simulations', 0)} simulations, "
         f"{stats.get('simulations_batched', 0)} batched "
         f"({stats.get('batch_groups', 0)} groups), "
+        f"{stats.get('programs_validated', 0)} validated "
+        f"({stats.get('rejected_static', 0)} rejected static), "
         f"{stats.get('cache_hits', 0)} cache hits "
         f"({stats.get('cache_hit_rate', 0.0):.0%} hit rate)"
         + (
@@ -622,6 +724,12 @@ def main(argv: list[str] | None = None) -> int:
         "vectorised batch engine (default: $REPRO_EXECUTOR or thread)",
     )
     eval_parser.add_argument(
+        "--validate", choices=("off", "warn", "strict"), default=None,
+        help="static pre-flight over every submitted circuit: warn prints "
+        "QA diagnostics, strict rejects QA1xx errors before any simulation "
+        "(default: $REPRO_VALIDATE or off)",
+    )
+    eval_parser.add_argument(
         "--distributed", action="store_true",
         help="start a work-distribution coordinator for this run and lease "
         "episode chunks to attached eval-workers (results stay "
@@ -646,6 +754,28 @@ def main(argv: list[str] | None = None) -> int:
     demo_parser.add_argument(
         "--qec", action="store_true",
         help="attach the QEC agent to the target backend",
+    )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="static-analyze circuits: QASM files, a task's reference "
+        "program, or the whole task bank",
+    )
+    lint_parser.add_argument(
+        "files", nargs="*",
+        help="OpenQASM files to analyze",
+    )
+    lint_parser.add_argument(
+        "--task", default=None, metavar="CASE_ID",
+        help="lint the reference program of one suite task",
+    )
+    lint_parser.add_argument(
+        "--suite", action="store_true",
+        help="lint every reference program in the task bank",
+    )
+    lint_parser.add_argument(
+        "--verbose", action="store_true",
+        help="also print QA3xx info diagnostics (depth/width stats)",
     )
 
     sub.add_parser("backends", help="list registered execution backends")
@@ -780,6 +910,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "eval": _cmd_eval,
         "demo": _cmd_demo,
+        "lint": _cmd_lint,
         "backends": _cmd_backends,
         "cache": _cmd_cache,
         "cache-server": _cmd_cache_server,

@@ -36,6 +36,20 @@ class SimulationError(QuantumError):
     """The simulator could not execute the circuit."""
 
 
+class ValidationError(QuantumError):
+    """Static analysis rejected a circuit before execution.
+
+    Raised by the execution service's pre-flight stage (``validate="strict"``)
+    when the analyzer reports ``QA1xx`` errors.  Carries the full diagnostic
+    stream so callers — the evalsuite's ``static_error`` grading, the lint
+    CLI — can report coded findings without re-running the analyzer.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)
+
+
 class TranspilerError(QuantumError):
     """Layout/routing/decomposition failure."""
 

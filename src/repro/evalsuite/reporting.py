@@ -35,8 +35,10 @@ def comparison_table(
 ) -> AsciiTable:
     """One row per arm: accuracy, syntactic accuracy, per-tier split.
 
-    Tiers without samples render as ``-`` (no fake 0.0), and the Ungraded
-    column counts samples folded into accuracy without a semantic verdict.
+    Tiers without samples render as ``-`` (no fake 0.0), the Ungraded
+    column counts samples folded into accuracy without a semantic verdict,
+    and StaticErr counts samples rejected by static analysis (``QA1xx``) —
+    kept apart from runtime failures, and graded without a single simulation.
     """
     table = AsciiTable(
         [
@@ -44,6 +46,7 @@ def comparison_table(
             "Accuracy",
             "Syntactic",
             "Ungraded",
+            "StaticErr",
             "Basic",
             "Intermediate",
             "Advanced",
@@ -63,6 +66,7 @@ def comparison_table(
                 f"{result.accuracy():.1%} [{low:.0%},{high:.0%}]",
                 f"{result.syntactic_accuracy():.1%}",
                 str(result.semantic_unknown_count()),
+                str(result.static_error_count()),
                 tier_cell(tiers, "basic"),
                 tier_cell(tiers, "intermediate"),
                 tier_cell(tiers, "advanced"),
@@ -90,6 +94,8 @@ def execution_stats_table(
             "Simulations",
             "Deduped",
             "Batched",
+            "Validated",
+            "Rejected",
             "Cache hits",
             "Disk hits",
             "Remote hits",
@@ -109,6 +115,8 @@ def execution_stats_table(
                 stats.get("simulations", 0),
                 stats.get("simulations_deduped", 0),
                 stats.get("simulations_batched", 0),
+                stats.get("programs_validated", 0),
+                stats.get("rejected_static", 0),
                 hits,
                 stats.get("cache_disk_hits", 0),
                 stats.get("cache_remote_hits", 0),

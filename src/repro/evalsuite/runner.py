@@ -110,6 +110,12 @@ class TaskOutcome:
     #: surfaced here so reports can show how much of an arm's accuracy is
     #: ungraded instead of silently folding it in.
     semantic_unknown: int = 0
+    #: Samples rejected by static analysis (``QA1xx``): the model emitted an
+    #: ill-formed circuit, caught without running a single simulation.  Kept
+    #: apart from runtime errors — "wrote ill-formed code" and "code ran and
+    #: answered wrong" are different failure modes — and never counted as
+    #: syntactic or full successes.
+    static_errors: int = 0
 
 
 @dataclass
@@ -141,6 +147,10 @@ class EvalResult:
     def semantic_unknown_count(self) -> int:
         """Samples counted as successes without a semantic verdict."""
         return sum(o.semantic_unknown for o in self.outcomes)
+
+    def static_error_count(self) -> int:
+        """Samples statically rejected (``QA1xx``) before any simulation."""
+        return sum(o.static_errors for o in self.outcomes)
 
     def semantic_unknown_rate(self) -> float:
         total = sum(o.samples for o in self.outcomes)
@@ -232,7 +242,8 @@ def _run_task_chunk(settings: PipelineSettings, task: Task) -> tuple:
     uses a fixed seed — so the engine is free to run chunks in any order, on
     any thread, or in any worker process and still produce outcomes
     bit-identical to the serial loop.  Returns plain picklable data:
-    ``(syntactic, full, semantic_unknown, passes_used, stats_dict)``.
+    ``(syntactic, full, semantic_unknown, static_errors, passes_used,
+    stats_dict)``.
 
     The chunk runs with the ambient scope stack *isolated*: whether it
     executes on the calling thread, a pool thread, or a forked worker, any
@@ -245,6 +256,7 @@ def _run_task_chunk(settings: PipelineSettings, task: Task) -> tuple:
         syntactic = 0
         full = 0
         semantic_unknown = 0
+        static_errors = 0
         passes_used: list[int] = []
         for sample in range(settings.samples_per_task):
             seed = derive_seed(
@@ -266,6 +278,8 @@ def _run_task_chunk(settings: PipelineSettings, task: Task) -> tuple:
                 semantic_feedback=settings.semantic_feedback,
             )
             report = refinement.report
+            if report.static_error:
+                static_errors += 1
             if report.syntactic_ok:
                 syntactic += 1
             if report.syntactic_ok and report.semantic_ok is not False:
@@ -273,7 +287,14 @@ def _run_task_chunk(settings: PipelineSettings, task: Task) -> tuple:
                 if report.semantic_ok is None:
                     semantic_unknown += 1
             passes_used.append(refinement.passes_used)
-    return syntactic, full, semantic_unknown, passes_used, scope.as_dict()
+    return (
+        syntactic,
+        full,
+        semantic_unknown,
+        static_errors,
+        passes_used,
+        scope.as_dict(),
+    )
 
 
 # -- where chunks run: the ChunkSource abstraction ---------------------------------
@@ -413,7 +434,7 @@ def evaluate_many(
             arm_index * len(tasks) : (arm_index + 1) * len(tasks)
         ]
         for task, chunk in zip(tasks, arm_chunks):
-            syntactic, full, unknown, passes_used, _chunk_stats = chunk
+            syntactic, full, unknown, static, passes_used, _chunk_stats = chunk
             outcomes.append(
                 TaskOutcome(
                     case_id=task.case_id,
@@ -424,9 +445,10 @@ def evaluate_many(
                     full_successes=full,
                     passes_used=passes_used,
                     semantic_unknown=unknown,
+                    static_errors=static,
                 )
             )
-        stats = fold_counts(chunk[4] for chunk in arm_chunks)
+        stats = fold_counts(chunk[5] for chunk in arm_chunks)
         for scope in caller_scopes:
             scope.merge(stats)
         results.append(

@@ -26,15 +26,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.quantum.analysis import CircuitFacts, circuit_facts, structure_fingerprint
 from repro.quantum.backend import Backend
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.simulator import (
-    MAX_DENSE_QUBITS,
-    _compact,
-    _is_fast_path,
-    trajectory_draw_plan,
-)
-from repro.utils.rng import stable_hash
+from repro.quantum.simulator import MAX_DENSE_QUBITS, _compact
+
+__all__ = [
+    "IDEAL",
+    "SERIAL",
+    "SHOTS",
+    "PlannedGroup",
+    "PlannedUnit",
+    "batchable_backend",
+    "make_unit",
+    "plan",
+    "structure_fingerprint",
+]
 
 #: Group kinds, in dispatch-preference order.
 IDEAL = "ideal"
@@ -52,6 +59,7 @@ class PlannedUnit:
     key: object | None  #: the service's CacheKey, or None when uncacheable
     seed: int | None
     shots: int
+    facts: CircuitFacts  #: analyzer facts of ``circuit`` (routing input)
 
 
 @dataclass
@@ -69,8 +77,16 @@ def make_unit(
     seed: int | None,
     shots: int,
 ) -> PlannedUnit:
-    """Annotate one miss with its compacted circuit (the planner's view)."""
-    return PlannedUnit(index, circuit, _compact(circuit), key, seed, shots)
+    """Annotate one miss with its compacted circuit and analyzer facts.
+
+    Facts are computed on the circuit *as submitted*, not the compacted form:
+    compaction forgives out-of-range qubit references (it relabels them in),
+    which would hide ``QA101`` defects from routing, and every predicate the
+    planner reads is invariant under qubit relabelling anyway.
+    """
+    return PlannedUnit(
+        index, circuit, _compact(circuit), key, seed, shots, circuit_facts(circuit)
+    )
 
 
 def batchable_backend(backend: Backend) -> bool:
@@ -84,23 +100,13 @@ def batchable_backend(backend: Backend) -> bool:
     return type(backend).execute_circuit is Backend.execute_circuit
 
 
-def structure_fingerprint(circuit: QuantumCircuit) -> str:
-    """Hash of the gate *structure*: everything the full circuit fingerprint
-    covers except parameters, so two sweep points of one ansatz group
-    together while arbitrary-angle rotations stay distinct per unit."""
-    payload = (
-        circuit.num_qubits,
-        circuit.num_clbits,
-        tuple(
-            (inst.name, inst.qubits, inst.clbits, inst.condition)
-            for inst in circuit
-        ),
-    )
-    return f"{stable_hash('structure', payload):016x}"
-
-
 def plan(backend: Backend, units: list[PlannedUnit]) -> list[PlannedGroup]:
     """Partition miss units into batchable groups plus one serial fallback.
+
+    Routing reads only each unit's :class:`CircuitFacts` —
+    ``repro.quantum.analysis`` is the single source of truth for width,
+    fast-path eligibility and trajectory-batchability, so the planner can
+    never disagree with the serial engine's own classification.
 
     Group order is deterministic (first appearance of each structure), and
     the serial group, when present, comes last.
@@ -114,17 +120,20 @@ def plan(backend: Backend, units: list[PlannedUnit]) -> list[PlannedGroup]:
     groups: list[PlannedGroup] = []
     serial: list[PlannedUnit] = []
     for unit in units:
-        compacted = unit.compacted
-        if compacted.num_qubits > MAX_DENSE_QUBITS:
+        facts = unit.facts
+        # Compacted width == touched-qubit count (floor 1 for empty circuits).
+        if max(1, len(facts.touched_qubits)) > MAX_DENSE_QUBITS:
             serial.append(unit)  # serial path raises the canonical error
-        elif _is_fast_path(compacted, noise):
-            fingerprint = structure_fingerprint(compacted)
+        elif facts.structurally_defective:
+            serial.append(unit)  # serial path raises the canonical error
+        elif facts.is_fast_path(noise):
+            fingerprint = structure_fingerprint(unit.compacted)
             group = ideal.get(fingerprint)
             if group is None:
                 group = ideal[fingerprint] = PlannedGroup(IDEAL, [])
                 groups.append(group)
             group.units.append(unit)
-        elif trajectory_draw_plan(compacted, noise) is not None:
+        elif facts.trajectory_eligible:
             groups.append(PlannedGroup(SHOTS, [unit]))
         else:
             serial.append(unit)

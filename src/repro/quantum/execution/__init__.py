@@ -87,12 +87,15 @@ from repro.quantum.execution.scopes import (
     use_scope,
 )
 from repro.quantum.execution.service import (
+    VALIDATE_ENV,
+    VALIDATE_MODES,
     ExecutionService,
     ambient_seed,
     default_service,
     execute,
     executor_from_env,
     set_default_service,
+    validate_from_env,
 )
 
 __all__ = [
@@ -115,6 +118,8 @@ __all__ = [
     "StatsScope",
     "stats_scope",
     "use_scope",
+    "VALIDATE_ENV",
+    "VALIDATE_MODES",
     "WorkQueue",
     "WorkUnit",
     "run_worker",
@@ -130,4 +135,5 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "set_default_service",
+    "validate_from_env",
 ]

@@ -50,6 +50,8 @@ SCOPE_FIELDS = (
     "cache_disk_hits",
     "cache_remote_hits",
     "cache_evictions",
+    "programs_validated",
+    "rejected_static",
 )
 
 

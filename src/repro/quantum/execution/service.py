@@ -65,13 +65,15 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 import weakref
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 
-from repro.errors import BackendError
+from repro.errors import BackendError, ValidationError
 from repro.quantum import batchsim
+from repro.quantum.analysis import Diagnostic, analyze_circuit
 from repro.quantum.backend import Backend, Result
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.execution.cache import (
@@ -105,6 +107,14 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_URL_ENV = "REPRO_CACHE_URL"
 #: Environment variable that picks the default service's executor strategy.
 EXECUTOR_ENV = "REPRO_EXECUTOR"
+#: Environment variable that picks the default service's pre-flight mode.
+VALIDATE_ENV = "REPRO_VALIDATE"
+
+#: Pre-flight validation modes: ``off`` skips the analyzer entirely,
+#: ``warn`` surfaces diagnostics as warnings but still executes, ``strict``
+#: raises :class:`~repro.errors.ValidationError` on any ``QA1xx`` error
+#: before the submission reaches the cache, the pool, or a simulator.
+VALIDATE_MODES = ("off", "warn", "strict")
 
 #: Upper bound on worker threads; dense statevector math releases little of
 #: the GIL, so a small pool captures most of the available overlap.
@@ -182,12 +192,17 @@ class ExecutionService:
         cache_limits: CacheLimits | None = None,
         remote_url: str | None = None,
         executor: str = "thread",
+        validate: str = "off",
     ) -> None:
         if max_workers <= 0:
             raise BackendError(f"max_workers must be positive, got {max_workers}")
         if executor not in EXECUTOR_KINDS:
             raise BackendError(
                 f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}"
+            )
+        if validate not in VALIDATE_MODES:
+            raise BackendError(
+                f"validate must be one of {VALIDATE_MODES}, got {validate!r}"
             )
         if cache is not None and (
             cache_dir is not None
@@ -210,6 +225,7 @@ class ExecutionService:
             )
         self.max_workers = max_workers
         self.executor = executor
+        self.validate = validate
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         self.remote_url = remote_url
         if cache is None and use_cache:
@@ -234,6 +250,8 @@ class ExecutionService:
         self._simulations_deduped = 0
         self._simulations_batched = 0
         self._batch_groups = 0
+        self._programs_validated = 0
+        self._rejected_static = 0
         _live_services.add(self)
 
     # -- public API --------------------------------------------------------------
@@ -375,7 +393,10 @@ class ExecutionService:
                 "simulations_deduped": self._simulations_deduped,
                 "simulations_batched": self._simulations_batched,
                 "batch_groups": self._batch_groups,
+                "programs_validated": self._programs_validated,
+                "rejected_static": self._rejected_static,
                 "executor": self.executor,
+                "validate": self.validate,
             }
         if self.cache is not None:
             snap = self.cache.stats.snapshot()
@@ -425,7 +446,49 @@ class ExecutionService:
             circuits = [circuits]
         batch = list(circuits)
         target.validate_batch(batch, shots)
+        self._preflight(batch, target)
         return target, batch
+
+    def _preflight(self, batch: list[QuantumCircuit], target: Backend) -> None:
+        """Static pre-flight over a submission (``validate="warn"|"strict"``).
+
+        Runs the analyzer on every circuit before any cache, pool or
+        simulator traffic.  ``strict`` raises
+        :class:`~repro.errors.ValidationError` on ``QA1xx`` errors (crediting
+        ``rejected_static`` per defective circuit); ``warn`` emits one warning
+        per diagnosed circuit and proceeds.  Both modes credit
+        ``programs_validated`` per circuit analyzed.
+        """
+        if self.validate == "off":
+            return
+        scopes = active_scopes()
+        errors: list[Diagnostic] = []
+        rejected = 0
+        for position, qc in enumerate(batch):
+            analysis = analyze_circuit(qc, max_qubits=target.max_active_qubits)
+            if analysis.errors:
+                rejected += 1
+                errors.extend(analysis.errors)
+            if self.validate == "warn" and not analysis.ok:
+                rendered = "; ".join(d.render() for d in analysis.errors)
+                warnings.warn(
+                    f"circuit {position} ({qc.name or 'unnamed'}) failed "
+                    f"static validation: {rendered}",
+                    stacklevel=4,
+                )
+        with self._lock:
+            self._programs_validated += len(batch)
+        credit(scopes, "programs_validated", len(batch))
+        if self.validate == "strict" and errors:
+            with self._lock:
+                self._rejected_static += rejected
+            credit(scopes, "rejected_static", rejected)
+            rendered = "; ".join(d.render() for d in errors)
+            raise ValidationError(
+                f"static analysis rejected {rejected} of {len(batch)} "
+                f"circuit(s): {rendered}",
+                diagnostics=errors,
+            )
 
     @staticmethod
     def _effective_seed(seed: int | None, index: int) -> int | None:
@@ -842,6 +905,16 @@ def executor_from_env(default: str = "thread") -> str:
     return os.environ.get(EXECUTOR_ENV, "").strip().lower() or default
 
 
+def validate_from_env(default: str = "off") -> str:
+    """The pre-flight mode named by ``REPRO_VALIDATE`` (or ``default``).
+
+    Same contract as :func:`executor_from_env`: one environment variable
+    turns on static validation uniformly across a fleet; unknown values
+    raise inside :class:`ExecutionService`.
+    """
+    return os.environ.get(VALIDATE_ENV, "").strip().lower() or default
+
+
 def default_service() -> ExecutionService:
     """The shared process-wide :class:`ExecutionService` (lazily created).
 
@@ -866,6 +939,7 @@ def default_service() -> ExecutionService:
                 ),
                 remote_url=remote_url,
                 executor=executor,
+                validate=validate_from_env(),
             )
         return _default
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.quantum import gates as _gates
+from repro.quantum.analysis import circuit_facts, structural_errors
 from repro.quantum.circuit import Instruction, QuantumCircuit
 from repro.quantum.noise import NoiseModel
 from repro.quantum.statevector import (
@@ -78,26 +79,13 @@ def _validate(circuit: QuantumCircuit) -> None:
 
 
 def _is_fast_path(circuit: QuantumCircuit, noise: NoiseModel | None) -> bool:
-    """True when sampling from the final state reproduces per-shot semantics."""
-    if noise is not None and not noise.is_trivial:
-        # Readout-only noise could in principle use the fast path, but
-        # flipping bits per shot costs the same as the trajectory loop, so
-        # only the fully-ideal case takes it.
-        return False
-    touched_after_measure: set[int] = set()
-    measured: set[int] = set()
-    for inst in circuit:
-        if inst.condition is not None or inst.name == "reset":
-            return False
-        if inst.name == "measure":
-            measured.add(inst.qubits[0])
-            continue
-        if inst.name == "barrier":
-            continue
-        for q in inst.qubits:
-            if q in measured:
-                touched_after_measure.add(q)
-    return not touched_after_measure
+    """True when sampling from the final state reproduces per-shot semantics.
+
+    Thin wrapper over :meth:`CircuitFacts.is_fast_path` — the analyzer is the
+    single source of truth for this classification; the batchsim planner reads
+    the same facts, so serial and batch routing can never disagree.
+    """
+    return circuit_facts(circuit).is_fast_path(noise)
 
 
 def bit_rows_to_strings(rows: np.ndarray) -> list[str]:
@@ -269,11 +257,19 @@ def simulate_counts(
     ``counts`` maps classical bitstrings (clbit 0 rightmost) to frequencies;
     ``memory`` is the per-shot list when requested, else ``None``.
     """
+    facts = circuit_facts(circuit)
+    if facts.structurally_defective:
+        first = structural_errors(facts)[0]
+        raise SimulationError(
+            f"circuit is structurally defective: [{first.code}] {first.message}"
+        )
     circuit = _compact(circuit)
     _validate(circuit)
     if shots <= 0:
         raise SimulationError(f"shots must be positive, got {shots}")
-    if _is_fast_path(circuit, noise):
+    # ``is_fast_path`` only reads relabelling-invariant structure, so facts of
+    # the original circuit answer for the compacted one too.
+    if facts.is_fast_path(noise):
         outcomes = _fast_sample(circuit, shots, rng)
     else:
         outcomes = [_run_trajectory(circuit, noise, rng) for _ in range(shots)]

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.errors import TranspilerError
+from repro.quantum.analysis import circuit_facts, structural_errors
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.topology import CouplingMap
 from repro.quantum.transpiler.decompose import decompose_to_basis
@@ -46,6 +47,16 @@ def transpile(
         to physical indices; ``metadata['final_layout']`` gives the mapping
         after routing SWAPs.
     """
+    # Layout and routing assume every instruction references declared wires;
+    # the analyzer's structural facts gate that up front (the builder API
+    # cannot produce such circuits, but QASM import of generated code can
+    # deliver e.g. a conditional on a clbit nothing writes).
+    facts = circuit_facts(circuit)
+    if facts.structurally_defective:
+        first = structural_errors(facts)[0]
+        raise TranspilerError(
+            f"circuit is structurally defective: [{first.code}] {first.message}"
+        )
     if backend is not None:
         if coupling_map is None:
             coupling_map = backend.coupling_map

@@ -33,6 +33,7 @@ def outcome_key(result):
             o.syntactic_successes,
             o.full_successes,
             o.semantic_unknown,
+            o.static_errors,
             tuple(o.passes_used),
         )
         for o in result.outcomes
@@ -111,7 +112,7 @@ class TestSerialParallelParity:
         assert [
             (o.syntactic_successes, o.full_successes, tuple(o.passes_used))
             for o in serial.outcomes
-        ] == [(t[0], t[1], tuple(t[3])) for t in threaded]
+        ] == [(t[0], t[1], tuple(t[4])) for t in threaded]
 
 
 class TestExactAttribution:

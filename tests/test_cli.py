@@ -253,3 +253,116 @@ def test_arms_cover_figure3():
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+# -- repro lint --------------------------------------------------------------
+
+CLEAN_QASM = """\
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0], q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+"""
+
+# A conditional gate on a clbit no measurement ever writes: QA102.
+DEFECTIVE_QASM = """\
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+creg c[2];
+h q[0];
+if(c==1) x q[1];
+"""
+
+
+def test_lint_clean_qasm_file(tmp_path, capsys):
+    path = tmp_path / "bell.qasm"
+    path.write_text(CLEAN_QASM)
+    assert main(["lint", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"{path}: ok" in out
+    assert "0 error(s)" in out
+
+
+def test_lint_defective_qasm_fails_with_coded_diagnostic(tmp_path, capsys):
+    path = tmp_path / "broken.qasm"
+    path.write_text(DEFECTIVE_QASM)
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}: FAIL" in out
+    assert "QA102" in out
+
+
+def test_lint_verbose_shows_info_diagnostics(tmp_path, capsys):
+    path = tmp_path / "bell.qasm"
+    path.write_text(CLEAN_QASM)
+    assert main(["lint", str(path)]) == 0
+    assert "QA301" not in capsys.readouterr().out
+    assert main(["lint", "--verbose", str(path)]) == 0
+    assert "QA301" in capsys.readouterr().out
+
+
+def test_lint_unreadable_file_is_an_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "missing.qasm")]) == 1
+    out = capsys.readouterr().out
+    assert "cannot read" in out
+
+
+def test_lint_unparsable_qasm_is_an_error(tmp_path, capsys):
+    path = tmp_path / "bad.qasm"
+    path.write_text("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];\n")
+    assert main(["lint", str(path)]) == 1
+    assert "QASM parse failed" in capsys.readouterr().out
+
+
+def test_lint_suite_references_are_clean(capsys):
+    assert main(["lint", "--suite"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s)" in out
+
+
+def test_lint_single_task(capsys):
+    from repro.evalsuite import build_suite
+
+    case_id = build_suite()[0].case_id
+    assert main(["lint", "--task", case_id]) == 0
+    assert case_id in capsys.readouterr().out
+
+
+def test_lint_unknown_task(capsys):
+    assert main(["lint", "--task", "no-such-case"]) == 2
+    assert "unknown task" in capsys.readouterr().out
+
+
+def test_lint_without_inputs_is_usage_error(capsys):
+    assert main(["lint"]) == 2
+    assert "nothing to lint" in capsys.readouterr().out
+
+
+def test_eval_validate_flag_accepted(capsys):
+    from repro.quantum.execution import set_default_service
+
+    try:
+        assert main(
+            ["eval", "ft", "--samples", "1", "--validate", "strict"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Accuracy" in out
+    finally:
+        set_default_service(None, shutdown_previous=True)
+
+
+def test_backends_reports_validation_counters(capsys):
+    from repro.quantum.execution import set_default_service
+
+    try:
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "validate=" in out
+        assert "validated" in out
+    finally:
+        set_default_service(None, shutdown_previous=True)
