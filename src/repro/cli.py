@@ -25,6 +25,10 @@ Commands
                            diagnostics (QA1xx errors / QA2xx warnings /
                            QA3xx info) and exits nonzero on errors
 ``backends``               list registered execution backends and aliases
+``transpile``              lower a library circuit to a backend through the
+                           cached transpile stage; ``--explain`` prints the
+                           per-pass timing / instruction-delta table from
+                           the PassManager
 ``cache``                  inspect, ``--clear``, or ``--prune`` (with
                            ``--max-bytes/--max-entries/--max-age`` bounds)
                            the on-disk result cache
@@ -201,7 +205,7 @@ def _cmd_report(args) -> int:
     return 0
 
 
-def _arm_settings(arm: str, samples: int):
+def _arm_settings(arm: str, samples: int, optimization_level: int | None = None):
     """The one arm → PipelineSettings mapping shared by every eval-ish
     command (``eval`` and ``eval-server`` must evaluate identical
     configurations or their byte-identical guarantee is meaningless);
@@ -217,6 +221,7 @@ def _arm_settings(arm: str, samples: int):
         max_passes=3 if arm == "mp3" else 1,
         samples_per_task=samples,
         label=arm,
+        optimization_level=optimization_level,
     )
 
 
@@ -236,7 +241,7 @@ def _cmd_eval(args) -> int:
         validate_from_env,
     )
 
-    settings = _arm_settings(args.arm, args.samples)
+    settings = _arm_settings(args.arm, args.samples, args.opt_level)
     if settings is None:
         return 2
     served, ephemeral = None, False
@@ -297,6 +302,8 @@ def _cmd_eval(args) -> int:
             f"{stats.get('cache_hits', 0)} cache hits "
             f"({stats.get('cache_disk_hits', 0)} from disk, "
             f"{stats.get('cache_remote_hits', 0)} from remote), "
+            f"{stats.get('transpiles', 0)} transpiles "
+            f"({stats.get('transpile_cache_hits', 0)} transpile cache hits), "
             f"executor={stats.get('executor', 'thread')}, "
             f"validate={stats.get('validate', 'off')}"
         )
@@ -643,13 +650,78 @@ def _cmd_backends(_args) -> int:
         f"{stats.get('programs_validated', 0)} validated "
         f"({stats.get('rejected_static', 0)} rejected static), "
         f"{stats.get('cache_hits', 0)} cache hits "
-        f"({stats.get('cache_hit_rate', 0.0):.0%} hit rate)"
+        f"({stats.get('cache_hit_rate', 0.0):.0%} hit rate), "
+        f"{stats.get('transpiles', 0)} transpiles "
+        f"({stats.get('transpile_cache_hits', 0)} transpile cache hits)"
         + (
             f", disk cache at {stats['cache_dir']}"
             if "cache_dir" in stats
             else ""
         )
     )
+    return 0
+
+
+def _library_circuit(name: str, qubits: int):
+    from repro.quantum import library
+
+    if name == "bell":
+        return library.bell_pair(measure=True)
+    if name == "ghz":
+        return library.ghz_state(qubits, measure=True)
+    if name == "qft":
+        return library.qft(qubits)
+    return library.grover(qubits, ["1" * qubits])
+
+
+def _cmd_transpile(args) -> int:
+    from repro.errors import BackendError
+    from repro.quantum.execution import default_service, resolve_backend
+    from repro.quantum.transpiler import build_pass_manager, resolve_lowering
+
+    circuit = _library_circuit(args.circuit, args.qubits)
+    try:
+        backend = resolve_backend(args.backend) if args.backend else None
+    except BackendError as exc:
+        print(f"error: {exc}")
+        return 2
+    service = default_service()
+    with service.stats_scope() as scope:
+        out = service.transpile(
+            circuit, backend=backend, optimization_level=args.level
+        )
+    source = "cache" if scope.get("transpile_cache_hits") else "pass manager"
+    target = backend.name if backend is not None else "all-to-all"
+    print(
+        f"{circuit.name}: {circuit.num_qubits} qubits, "
+        f"{circuit.size()} instructions"
+    )
+    print(
+        f"-> {out.name} on {target} [level {args.level}, from {source}]: "
+        f"{out.num_qubits} qubits, {out.size()} instructions, "
+        f"depth {out.depth()}"
+    )
+    print(
+        f"   layout {out.metadata['layout']}  "
+        f"final {out.metadata['final_layout']}"
+    )
+    if args.explain:
+        # Introspection path: run the pass stack directly (bypassing the
+        # cache) so the per-pass timings describe real work, not a lookup.
+        coupling_map, basis = resolve_lowering(backend, None, None)
+        manager = build_pass_manager(
+            coupling_map=coupling_map, basis=basis,
+            optimization_level=args.level,
+        )
+        manager.run(circuit)
+        print()
+        print(f"{'pass':<18s} {'in':>5s} {'out':>5s} {'delta':>6s} {'ms':>9s}")
+        for record in manager.records:
+            print(
+                f"{record.name:<18s} {record.instructions_in:>5d} "
+                f"{record.instructions_out:>5d} {record.delta:>+6d} "
+                f"{record.seconds * 1e3:>9.3f}"
+            )
     return 0
 
 
@@ -703,6 +775,12 @@ def main(argv: list[str] | None = None) -> int:
     eval_parser.add_argument(
         "--progress", action="store_true",
         help="render a live chunk-completion meter on stderr",
+    )
+    eval_parser.add_argument(
+        "--opt-level", dest="opt_level", type=int, choices=(0, 1, 2),
+        default=None,
+        help="pin the transpiler optimization level for every transpile in "
+        "this arm's episodes (default: the pipeline's own choice, level 1)",
     )
     eval_parser.add_argument(
         "--exec-stats", action="store_true", dest="exec_stats",
@@ -779,6 +857,34 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     sub.add_parser("backends", help="list registered execution backends")
+
+    transpile_parser = sub.add_parser(
+        "transpile",
+        help="lower a library circuit to a backend through the cached "
+        "transpile stage",
+    )
+    transpile_parser.add_argument(
+        "circuit", choices=("bell", "ghz", "qft", "grover"),
+        help="library circuit to lower",
+    )
+    transpile_parser.add_argument(
+        "--qubits", type=int, default=3,
+        help="circuit width (ignored for bell)",
+    )
+    transpile_parser.add_argument(
+        "--backend", default=None,
+        help="target backend name/alias from the registry (see 'backends'); "
+        "omit for an all-to-all target with the default basis",
+    )
+    transpile_parser.add_argument(
+        "--level", type=int, choices=(0, 1, 2), default=1,
+        help="optimization level (0 lowering only, 1 peephole, 2 repeated)",
+    )
+    transpile_parser.add_argument(
+        "--explain", action="store_true",
+        help="print the PassManager's per-pass instruction deltas and "
+        "wall-clock timings (from an uncached run of the stack)",
+    )
 
     cache_parser = sub.add_parser(
         "cache",
@@ -912,6 +1018,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "lint": _cmd_lint,
         "backends": _cmd_backends,
+        "transpile": _cmd_transpile,
         "cache": _cmd_cache,
         "cache-server": _cmd_cache_server,
         "eval-server": _cmd_eval_server,

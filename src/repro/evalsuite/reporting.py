@@ -101,6 +101,8 @@ def execution_stats_table(
             "Remote hits",
             "Cache misses",
             "Hit rate",
+            "Transpiles",
+            "T-cache hits",
         ],
         title=title,
     )
@@ -122,6 +124,8 @@ def execution_stats_table(
                 stats.get("cache_remote_hits", 0),
                 misses,
                 f"{hits / lookups:.1%}" if lookups else "-",
+                stats.get("transpiles", 0),
+                stats.get("transpile_cache_hits", 0),
             ]
         )
     return table

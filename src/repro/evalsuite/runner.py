@@ -56,6 +56,7 @@ from repro.quantum.execution.scopes import (
     isolated_scopes,
     stats_scope,
 )
+from repro.quantum.transpiler import ambient_optimization_level
 from repro.rag.retriever import Retriever
 from repro.utils.parallel import parallel_map, resolve_workers
 from repro.utils.rng import derive_seed
@@ -80,6 +81,12 @@ class PipelineSettings:
     #: ``workers`` argument of :func:`evaluate`, then ``REPRO_EVAL_WORKERS``,
     #: then the serial default of 1.  Results are bit-identical for any N.
     workers: int | None = None
+    #: Pin the transpiler optimization level for every transpile performed
+    #: inside this arm's episodes (generated programs included, via the
+    #: ambient level).  ``None`` leaves the pipeline's own default (level 1)
+    #: in place.  Arms that differ only in level and share a ``seed_label``
+    #: see *paired* generations, isolating what routing quality buys.
+    optimization_level: int | None = None
 
     def display_label(self) -> str:
         if self.label:
@@ -87,6 +94,8 @@ class PipelineSettings:
         label = self.config.label()
         if self.max_passes > 1:
             label += f"+MP{self.max_passes}"
+        if self.optimization_level is not None:
+            label += f"+O{self.optimization_level}"
         return label
 
     def seed_scope(self) -> str:
@@ -252,7 +261,11 @@ def _run_task_chunk(settings: PipelineSettings, task: Task) -> tuple:
     mode.
     """
     codegen, analyzer = _cached_pipeline(settings)
-    with isolated_scopes(), stats_scope(settings.display_label()) as scope:
+    with (
+        isolated_scopes(),
+        stats_scope(settings.display_label()) as scope,
+        ambient_optimization_level(settings.optimization_level),
+    ):
         syntactic = 0
         full = 0
         semantic_unknown = 0

@@ -32,6 +32,11 @@ The cooperating pieces (see the per-module docstrings for detail):
   one port, one shared token) and the :func:`run_worker` loop behind ``repro
   eval-worker``, which ship the eval engine's picklable episode chunks to
   remote machines with results bit-identical to the serial runner;
+* :mod:`~repro.quantum.execution.transpile_cache` — content addressing for
+  the cached transpile stage: ``service.transpile(...)`` keys transpiled
+  circuits by (circuit, coupling, basis, layout, level) fingerprints and
+  stores them through the same three cache tiers, so a fleet transpiles each
+  logical circuit once, ever;
 * :mod:`~repro.quantum.execution.pool` — picklable :class:`WorkUnit`\\ s and
   the child-process worker behind the process executor;
 * :mod:`~repro.quantum.execution.scopes` — attributable per-caller counters:
@@ -86,6 +91,11 @@ from repro.quantum.execution.scopes import (
     stats_scope,
     use_scope,
 )
+from repro.quantum.execution.transpile_cache import (
+    basis_fingerprint,
+    coupling_fingerprint,
+    transpile_cache_key,
+)
 from repro.quantum.execution.service import (
     VALIDATE_ENV,
     VALIDATE_MODES,
@@ -124,7 +134,10 @@ __all__ = [
     "WorkUnit",
     "run_worker",
     "run_work_unit",
+    "basis_fingerprint",
     "circuit_fingerprint",
+    "coupling_fingerprint",
+    "transpile_cache_key",
     "default_service",
     "execute",
     "executor_from_env",

@@ -52,6 +52,8 @@ SCOPE_FIELDS = (
     "cache_evictions",
     "programs_validated",
     "rejected_static",
+    "transpiles",
+    "transpile_cache_hits",
 )
 
 

@@ -252,6 +252,8 @@ class ExecutionService:
         self._batch_groups = 0
         self._programs_validated = 0
         self._rejected_static = 0
+        self._transpiles = 0
+        self._transpile_cache_hits = 0
         _live_services.add(self)
 
     # -- public API --------------------------------------------------------------
@@ -364,6 +366,70 @@ class ExecutionService:
         )
         return job
 
+    def transpile(
+        self,
+        circuit: QuantumCircuit,
+        backend: Backend | str | None = None,
+        coupling_map=None,
+        basis_gates: Sequence[str] | None = None,
+        initial_layout: Sequence[int] | None = None,
+        optimization_level: int | None = None,
+    ) -> QuantumCircuit:
+        """Content-addressed transpilation through the service's cache tiers.
+
+        The key is ``(logical circuit fingerprint, coupling fingerprint,
+        basis fingerprint, initial layout, optimization level)``; see
+        :mod:`repro.quantum.execution.transpile_cache`.  Hits — from the
+        memory LRU, the disk store, or the shared cache server, with the
+        usual tier promotion — skip the pass manager entirely and count as
+        ``transpile_cache_hits``; misses run the pass stack once, count as
+        ``transpiles``, and write through to every tier, so a fleet of
+        workers transpiles each logical circuit once, ever.
+
+        Lookups use :meth:`ResultCache.peek`, so the execution-result
+        ``cache_hits``/``cache_misses`` counters are untouched — the
+        dedicated transpile counters (surfaced by :meth:`stats`, stats
+        scopes, ``--exec-stats`` and ``repro backends``) carry the
+        attribution instead.
+        """
+        from repro.quantum.transpiler.pipeline import (
+            resolve_lowering,
+            resolve_optimization_level,
+            transpile_core,
+        )
+        from repro.quantum.execution.transpile_cache import (
+            decode_transpiled,
+            encode_transpiled,
+            transpile_cache_key,
+        )
+
+        if isinstance(backend, str):
+            backend = resolve_backend(backend)
+        coupling_map, basis = resolve_lowering(backend, coupling_map, basis_gates)
+        level = resolve_optimization_level(optimization_level)
+        scopes = active_scopes()
+        key = None
+        if self.cache is not None:
+            key = transpile_cache_key(
+                circuit, coupling_map, basis, initial_layout, level
+            )
+            entry = self.cache.peek(key)
+            if entry is not None:
+                restored = decode_transpiled(entry[0], entry[1], circuit)
+                if restored is not None:
+                    with self._lock:
+                        self._transpile_cache_hits += 1
+                    credit(scopes, "transpile_cache_hits")
+                    return restored
+        out = transpile_core(circuit, coupling_map, basis, initial_layout, level)
+        with self._lock:
+            self._transpiles += 1
+        credit(scopes, "transpiles")
+        if key is not None:
+            counts, payload = encode_transpiled(out)
+            self.cache.put(key, counts, payload, scopes)
+        return out
+
     def stats_scope(self, label: str | None = None):
         """Open an attributable counter scope on the current thread.
 
@@ -395,6 +461,8 @@ class ExecutionService:
                 "batch_groups": self._batch_groups,
                 "programs_validated": self._programs_validated,
                 "rejected_static": self._rejected_static,
+                "transpiles": self._transpiles,
+                "transpile_cache_hits": self._transpile_cache_hits,
                 "executor": self.executor,
                 "validate": self.validate,
             }

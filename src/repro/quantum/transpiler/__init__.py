@@ -7,22 +7,57 @@ from repro.quantum.transpiler.decompose import (
 )
 from repro.quantum.transpiler.passes import (
     cancel_adjacent_inverses,
+    drop_barriers,
     merge_rotations,
     optimize,
 )
-from repro.quantum.transpiler.pipeline import DEFAULT_BASIS, transpile
+from repro.quantum.transpiler.passmanager import (
+    CancelInverses,
+    DecomposeToBasis,
+    DenseLayout,
+    DropBarriers,
+    MergeRotations,
+    PassManager,
+    PassRecord,
+    Route,
+    TranspilerPass,
+    build_pass_manager,
+)
+from repro.quantum.transpiler.pipeline import (
+    DEFAULT_BASIS,
+    ambient_optimization_level,
+    resolve_lowering,
+    resolve_optimization_level,
+    transpile,
+    transpile_core,
+)
 from repro.quantum.transpiler.routing import Layout, dense_layout, route
 
 __all__ = [
     "DEFAULT_BASIS",
+    "CancelInverses",
+    "DecomposeToBasis",
+    "DenseLayout",
+    "DropBarriers",
     "Layout",
+    "MergeRotations",
+    "PassManager",
+    "PassRecord",
+    "Route",
+    "TranspilerPass",
+    "ambient_optimization_level",
+    "build_pass_manager",
     "cancel_adjacent_inverses",
     "decompose_to_basis",
     "dense_layout",
+    "drop_barriers",
     "merge_rotations",
     "one_qubit_to_basis",
     "optimize",
+    "resolve_lowering",
+    "resolve_optimization_level",
     "route",
     "transpile",
+    "transpile_core",
     "zyz_angles",
 ]

@@ -39,21 +39,27 @@ def zyz_angles(matrix: np.ndarray) -> tuple[float, float, float]:
     det = matrix[0, 0] * matrix[1, 1] - matrix[0, 1] * matrix[1, 0]
     su = matrix / cmath.sqrt(det)
     theta = 2.0 * math.atan2(abs(su[1, 0]), abs(su[0, 0]))
-    if abs(su[0, 0]) > _ATOL and abs(su[1, 0]) > _ATOL:
-        # U(t,p,l)[0,0] ~ cos, [1,1] ~ e^{i(p+l)} cos, [1,0] ~ e^{ip} sin,
-        # [0,1] ~ -e^{il} sin; phase ratios isolate p+l and p-l.
-        phi_plus_lam = cmath.phase(su[1, 1]) - cmath.phase(su[0, 0])
-        phi_minus_lam = cmath.phase(su[1, 0]) - cmath.phase(-su[0, 1])
-        phi = (phi_plus_lam + phi_minus_lam) / 2.0
-        lam = (phi_plus_lam - phi_minus_lam) / 2.0
-    elif abs(su[1, 0]) <= _ATOL:
+    # In SU(2), su = [[e^{-i(p+l)/2} cos, -e^{-i(p-l)/2} sin],
+    #                 [e^{+i(p-l)/2} sin,  e^{+i(p+l)/2} cos]]
+    # with cos(t/2), sin(t/2) >= 0 for t in [0, pi], so a single entry's
+    # phase *is* half the angle sum/difference.  (Differencing the phases
+    # of opposite corners — the old formulation — loses a 2*pi whenever an
+    # entry's phase lands exactly on the -pi/+pi branch cut, e.g. the real
+    # negative cosine of ry(t) for t > pi, which shifted both phi and lam
+    # by pi: a different unitary, not a global phase.)
+    if abs(su[1, 0]) <= _ATOL:
         # theta == 0: only phi+lam is defined; fold it all into lam.
         phi = 0.0
-        lam = cmath.phase(su[1, 1]) - cmath.phase(su[0, 0])
-    else:
+        lam = 2.0 * cmath.phase(su[1, 1])
+    elif abs(su[0, 0]) <= _ATOL:
         # theta == pi: only phi-lam is defined; fold into phi.
         lam = 0.0
-        phi = cmath.phase(su[1, 0]) - cmath.phase(-su[0, 1])
+        phi = 2.0 * cmath.phase(su[1, 0])
+    else:
+        phi_plus_lam = 2.0 * cmath.phase(su[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(su[1, 0])
+        phi = (phi_plus_lam + phi_minus_lam) / 2.0
+        lam = (phi_plus_lam - phi_minus_lam) / 2.0
     return theta, phi, lam
 
 

@@ -87,14 +87,13 @@ def merge_rotations(instructions: list[Instruction]) -> list[Instruction]:
     """Fuse adjacent same-axis rotations on the same qubit; drop zero angles."""
     out: list[Instruction] = []
     for inst in instructions:
-        if (
-            inst.name in _MERGEABLE
-            and inst.condition is None
-            and out
-            and _find_merge_partner(out, inst) is not None
-        ):
-            j = _find_merge_partner(out, inst)
-            assert j is not None
+        partner = (
+            _find_merge_partner(out, inst)
+            if inst.name in _MERGEABLE and inst.condition is None and out
+            else None
+        )
+        if partner is not None:
+            j = partner
             merged_angle = _wrap(out[j].params[0] + inst.params[0])
             if abs(merged_angle) < _ATOL:
                 del out[j]
@@ -125,6 +124,7 @@ def _find_merge_partner(out: list[Instruction], inst: Instruction) -> int | None
 
 
 def drop_barriers(instructions: list[Instruction]) -> list[Instruction]:
+    """Remove barrier directives (sampling no-ops; see ``DropBarriers``)."""
     return [i for i in instructions if i.name != "barrier"]
 
 

@@ -173,6 +173,21 @@ class TestRunner:
         settings_ = PipelineSettings(ModelConfig("3b", True), max_passes=3)
         assert settings_.display_label() == "3B-QK+MP3"
 
+    def test_display_label_carries_optimization_level(self):
+        settings_ = PipelineSettings(
+            ModelConfig("3b", True), optimization_level=2
+        )
+        assert settings_.display_label() == "3B-QK+O2"
+        # An explicit label wins outright (so a paired arm keeps the same
+        # seed derivation whichever level it lowers at).
+        labelled = PipelineSettings(
+            ModelConfig("3b", True), optimization_level=2, label="ft"
+        )
+        assert labelled.display_label() == "ft"
+        assert labelled.seed_scope() == PipelineSettings(
+            ModelConfig("3b", True), label="ft"
+        ).seed_scope()
+
 
 class TestReporting:
     def _result(self):

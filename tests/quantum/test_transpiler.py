@@ -147,6 +147,59 @@ class TestPasses:
         insts = [Instruction("rx", (0,), params=(0.0,))]
         assert merge_rotations(insts) == []
 
+    def test_merge_partner_searched_once_per_instruction(self, monkeypatch):
+        """Regression: the pass used to run the backwards partner search
+        twice per mergeable instruction (once to test, once to use) —
+        quadratic work doubled for nothing.  Pin the call count."""
+        from repro.quantum.transpiler import passes
+
+        calls = []
+        real = passes._find_merge_partner
+        monkeypatch.setattr(
+            passes, "_find_merge_partner",
+            lambda out, inst: calls.append(inst) or real(out, inst),
+        )
+        insts = [
+            Instruction("rz", (0,), params=(0.3,)),
+            Instruction("rz", (0,), params=(0.4,)),
+            Instruction("cx", (0, 1)),
+            Instruction("rz", (0,), params=(0.5,)),
+        ]
+        merged = merge_rotations(insts)
+        # Eligible searches: the 2nd rz (out non-empty) and the 4th rz.
+        # The 1st rz sees an empty ``out``; the cx is not mergeable.
+        assert len(calls) == 2
+        assert [i.name for i in merged] == ["rz", "cx", "rz"]
+
+    def test_merge_rotations_output_unchanged_regression(self):
+        """The single-search fix must not change what the pass emits: pin
+        the exact output on streams covering every branch — merge, merge to
+        identity, zero-angle drop, commuting past disjoint wires, blocked by
+        a shared wire, and conditioned instructions left untouched."""
+        stream = [
+            Instruction("rz", (0,), params=(0.3,)),
+            Instruction("x", (1,)),                      # disjoint: skipped over
+            Instruction("rz", (0,), params=(0.4,)),      # merges -> rz(0.7)
+            Instruction("cx", (0, 1)),                   # shared wire: blocks
+            Instruction("rz", (0,), params=(0.5,)),
+            Instruction("rz", (0,), params=(-0.5,)),     # merge to identity
+            Instruction("rx", (1,), params=(0.0,)),      # zero angle: dropped
+            Instruction("rz", (0,), params=(0.2,), condition=(0, 1)),
+            Instruction("rz", (0,), params=(0.6,)),      # blocked by condition
+        ]
+        merged = merge_rotations(stream)
+        assert [
+            (i.name, i.qubits, i.params, i.condition) for i in merged
+        ] == [
+            # The merge lands at the *first* rotation's position, ahead of
+            # the disjoint x it commuted past.
+            ("rz", (0,), (pytest.approx(0.7),), None),
+            ("x", (1,), (), None),
+            ("cx", (0, 1), (), None),
+            ("rz", (0,), (0.2,), (0, 1)),
+            ("rz", (0,), (0.6,), None),
+        ]
+
     def test_optimize_preserves_semantics(self):
         qc = random_circuit(3, depth=10, seed=4)
         before = Statevector.from_circuit(qc)

@@ -366,3 +366,55 @@ def test_backends_reports_validation_counters(capsys):
         assert "validated" in out
     finally:
         set_default_service(None, shutdown_previous=True)
+
+
+def test_transpile_command_miss_then_cache_hit(capsys):
+    from repro.quantum.execution import set_default_service
+
+    try:
+        set_default_service(None, shutdown_previous=True)  # fresh memory tier
+        assert main(["transpile", "ghz", "--qubits", "3"]) == 0
+        first = capsys.readouterr().out
+        assert "from pass manager" in first
+        assert "level 1" in first
+        assert "layout" in first and "final" in first
+        assert main(["transpile", "ghz", "--qubits", "3"]) == 0
+        second = capsys.readouterr().out
+        assert "from cache" in second
+    finally:
+        set_default_service(None, shutdown_previous=True)
+
+
+def test_transpile_explain_lists_every_pass(capsys):
+    from repro.quantum.execution import set_default_service
+
+    try:
+        assert main([
+            "transpile", "bell", "--backend", "fake_falcon",
+            "--level", "2", "--explain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fake_falcon" in out
+        for name in (
+            "DecomposeToBasis", "DenseLayout", "Route",
+            "DropBarriers", "MergeRotations", "CancelInverses",
+        ):
+            assert name in out
+        # The table carries per-pass instruction-count deltas and timings.
+        assert "delta" in out and "ms" in out
+    finally:
+        set_default_service(None, shutdown_previous=True)
+
+
+def test_transpile_unknown_backend_is_a_usage_error(capsys):
+    assert main(["transpile", "ghz", "--backend", "nope"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_eval_opt_level_flag(capsys):
+    assert main([
+        "eval", "ft", "--samples", "1", "--opt-level", "0", "--exec-stats"
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Accuracy" in out
+    assert "transpiles" in out and "transpile cache hits" in out

@@ -158,6 +158,101 @@ class TestR003ColumnFoldedMatmul:
         assert codes(src, "src/repro/quantum/batchsim/state.py") == []
 
 
+class TestR004DeadPassFunctions:
+    """R004 is cross-file (it needs an "outside" to look for references in),
+    so these tests drive ``lint_paths`` over a synthetic tree."""
+
+    PASSES = """
+    def used_pass(instructions):
+        return instructions
+
+    def dead_pass(instructions):
+        return instructions
+
+    def _private_helper(instructions):
+        return instructions
+    """
+    CONSUMER_IMPORT = """
+    from repro.quantum.transpiler.passes import used_pass
+    """
+    CONSUMER_ATTRIBUTE = """
+    from repro.quantum.transpiler import passes
+
+    def stack(instructions):
+        return passes.used_pass(instructions)
+    """
+
+    def _tree(self, tmp_path, consumer_source):
+        module_dir = tmp_path / "quantum" / "transpiler"
+        module_dir.mkdir(parents=True)
+        passes = module_dir / "passes.py"
+        passes.write_text(textwrap.dedent(self.PASSES))
+        consumer = module_dir / "passmanager.py"
+        consumer.write_text(textwrap.dedent(consumer_source))
+        return tmp_path
+
+    def test_unreferenced_public_pass_flagged(self, tmp_path):
+        tree = self._tree(tmp_path, self.CONSUMER_IMPORT)
+        found = repo_lint.lint_paths([tree])
+        assert [(v.rule) for v in found] == ["R004"]
+        assert "dead_pass" in found[0].message
+        assert found[0].path.name == "passes.py"
+
+    def test_attribute_reference_counts(self, tmp_path):
+        tree = self._tree(tmp_path, self.CONSUMER_ATTRIBUTE)
+        found = repo_lint.lint_paths([tree])
+        # used_pass is reached via passes.used_pass; dead_pass still dies.
+        assert [v.rule for v in found] == ["R004"]
+        assert "dead_pass" in found[0].message
+
+    def test_private_helpers_exempt(self, tmp_path):
+        module_dir = tmp_path / "quantum" / "transpiler"
+        module_dir.mkdir(parents=True)
+        (module_dir / "passes.py").write_text(
+            "def _only_private(x):\n    return x\n"
+        )
+        (module_dir / "other.py").write_text("x = 1\n")
+        assert repo_lint.lint_paths([tmp_path]) == []
+
+    def test_skipped_when_only_pass_modules_linted(self, tmp_path):
+        """Linting the pass file alone has no "outside"; the rule must not
+        flag everything in that degenerate run."""
+        module_dir = tmp_path / "quantum" / "transpiler"
+        module_dir.mkdir(parents=True)
+        passes = module_dir / "passes.py"
+        passes.write_text(textwrap.dedent(self.PASSES))
+        assert repo_lint.lint_paths([passes]) == []
+
+    def test_self_reference_does_not_count(self, tmp_path):
+        """A pass calling itself (or a sibling in the same module) is still
+        dead to every pass stack outside."""
+        module_dir = tmp_path / "quantum" / "transpiler"
+        module_dir.mkdir(parents=True)
+        (module_dir / "passes.py").write_text(textwrap.dedent("""
+        def outer_pass(instructions):
+            return inner_pass(instructions)
+
+        def inner_pass(instructions):
+            return instructions
+        """))
+        (module_dir / "other.py").write_text("x = 1\n")
+        found = repo_lint.lint_paths([tmp_path])
+        assert sorted(v.message.split(":")[1].split("(")[0].strip()
+                      for v in found) == ["inner_pass", "outer_pass"]
+        assert {v.rule for v in found} == {"R004"}
+
+    def test_wired_tree_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """
+            from repro.quantum.transpiler.passes import used_pass
+            from repro.x import dead_pass
+            """,
+        )
+        # Once something outside imports it, the pass is live.
+        assert repo_lint.lint_paths([tree]) == []
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self):
         found = lint("def broken(:\n")

@@ -30,6 +30,14 @@ R003  Column-folded batch kernel: ``matrix @ x.reshape(a, b)`` (or
       serial simulator (see ``batchsim/state.py``); the sanctioned kernel
       stacks to 3-D and lets matmul broadcast.
 
+R004  Dead transpiler pass: a public function in a pass-library module
+      (``transpiler/passes.py``) referenced nowhere outside its own module.
+      A pass nothing imports is silently skipped by every pass stack
+      (``drop_barriers`` sat unused this way); wire it into the PassManager,
+      export it, or delete it.  Cross-file by nature, so it runs from
+      ``lint_paths`` over the whole linted tree, not per file — and only
+      when the tree contains files beyond the pass modules themselves.
+
 Usage::
 
     python tools/repo_lint.py [paths...]   # default: src/
@@ -54,6 +62,10 @@ R001_ALLOWED = (
 
 #: R003 only applies under these directory names.
 R003_DIRS = {"batchsim"}
+
+#: Pass-library modules (by trailing path parts) whose public functions R004
+#: requires to be referenced somewhere outside their own module.
+R004_PASS_MODULES = (("transpiler", "passes.py"),)
 
 
 class Violation:
@@ -166,6 +178,61 @@ def _check_column_folded_matmul(path: Path, tree: ast.AST) -> list[Violation]:
     return found
 
 
+def _is_pass_module(path: Path) -> bool:
+    parts = path.parts
+    return any(
+        parts[-len(suffix):] == suffix for suffix in R004_PASS_MODULES
+    )
+
+
+def _referenced_names(tree: ast.AST) -> set[str]:
+    """Every identifier a module mentions: names, attributes, imports."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            names.update(alias.name for alias in node.names)
+    return names
+
+
+def _check_dead_pass_functions(
+    parsed: dict[Path, ast.AST]
+) -> list[Violation]:
+    """R004: public pass functions referenced nowhere outside their module.
+
+    Cross-file: needs the whole linted tree.  Skipped when only pass modules
+    were linted (there is no "outside" to reference them from).
+    """
+    pass_files = {f: t for f, t in parsed.items() if _is_pass_module(f)}
+    if not pass_files or len(pass_files) == len(parsed):
+        return []
+    external: set[str] = set()
+    for file, tree in parsed.items():
+        if file not in pass_files:
+            external |= _referenced_names(tree)
+    found = []
+    for file, tree in sorted(pass_files.items()):
+        for node in tree.body:
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and not node.name.startswith("_")
+                and node.name not in external
+            ):
+                found.append(
+                    Violation(
+                        file, node.lineno, "R004",
+                        f"dead transpiler pass: {node.name}() is public but "
+                        "referenced nowhere outside this module, so no pass "
+                        "stack can be running it; wire it into the "
+                        "PassManager, export it, or delete it",
+                    )
+                )
+    return found
+
+
 CHECKS = (
     _check_direct_backend_calls,
     _check_stats_diffs,
@@ -195,8 +262,15 @@ def lint_paths(paths: list[Path]) -> list[Violation]:
         else:
             files.append(path)
     violations = []
+    parsed: dict[Path, ast.AST] = {}
     for file in files:
-        violations.extend(lint_source(file, file.read_text()))
+        source = file.read_text()
+        violations.extend(lint_source(file, source))
+        try:
+            parsed[file] = ast.parse(source, filename=str(file))
+        except SyntaxError:
+            continue  # already reported as R000 by lint_source
+    violations.extend(_check_dead_pass_functions(parsed))
     return violations
 
 
