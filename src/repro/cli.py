@@ -725,6 +725,63 @@ def _cmd_transpile(args) -> int:
     return 0
 
 
+def _cmd_variational(args) -> int:
+    from repro.errors import BackendError, CircuitError
+    from repro.quantum.execution import default_service, resolve_backend
+    from repro.quantum.variational import (
+        hardware_efficient_ansatz,
+        maxcut_energy,
+        minimize,
+        qaoa_ansatz,
+    )
+
+    n = args.qubits
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    try:
+        if args.ansatz == "qaoa":
+            ansatz = qaoa_ansatz(n, edges, reps=args.reps)
+        else:
+            ansatz = hardware_efficient_ansatz(n, reps=args.reps)
+        backend = resolve_backend(args.backend) if args.backend else "ideal"
+    except (BackendError, CircuitError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"{ansatz.name}: {n} qubits, ring MaxCut ({len(edges)} edges), "
+        f"{ansatz.num_parameters} parameter(s), method {args.method}"
+    )
+    service = default_service()
+    try:
+        with service.stats_scope() as scope:
+            result = minimize(
+                maxcut_energy(edges), ansatz,
+                backend=backend, shots=args.shots, seed=args.seed,
+                method=args.method, maxiter=args.iters, service=service,
+            )
+    except CircuitError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"best expected cut {-result.best_value:.4f} / {len(edges)} "
+        f"after {result.iterations} iteration(s), "
+        f"{result.evaluations} evaluation(s)"
+    )
+    for name, value in result.best_parameters.items():
+        print(f"  {name} = {value:+.6f}")
+    print(
+        f"  transpiles {scope.get('transpiles')}, "
+        f"transpile cache hits {scope.get('transpile_cache_hits')}, "
+        f"simulations {scope.get('simulations')}"
+        + (
+            f", batched {scope.get('simulations_batched')} "
+            f"in {scope.get('batch_groups')} group(s)"
+            if scope.get("simulations_batched")
+            else ""
+        )
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="DAC-2025 quantum-codegen reproduction CLI"
@@ -886,6 +943,36 @@ def main(argv: list[str] | None = None) -> int:
         "wall-clock timings (from an uncached run of the stack)",
     )
 
+    var_parser = sub.add_parser(
+        "variational",
+        help="optimize a parameterized ansatz (MaxCut on a ring) through "
+        "the batched execution service",
+    )
+    var_parser.add_argument(
+        "--qubits", type=int, default=4, help="ring size (>= 3)"
+    )
+    var_parser.add_argument(
+        "--ansatz", choices=("qaoa", "hea"), default="qaoa",
+        help="qaoa (problem-aware) or hea (hardware-efficient)",
+    )
+    var_parser.add_argument(
+        "--reps", type=int, default=1,
+        help="ansatz repetitions (QAOA depth p / entangling blocks)",
+    )
+    var_parser.add_argument(
+        "--method", choices=("spsa", "coordinate"), default="spsa"
+    )
+    var_parser.add_argument(
+        "--iters", type=int, default=25,
+        help="optimizer iterations (each is one execution batch)",
+    )
+    var_parser.add_argument("--shots", type=int, default=1024)
+    var_parser.add_argument("--seed", type=int, default=0)
+    var_parser.add_argument(
+        "--backend", default=None,
+        help="target backend name/alias from the registry (see 'backends')",
+    )
+
     cache_parser = sub.add_parser(
         "cache",
         help="inspect, clear, or prune the on-disk execution result cache",
@@ -1019,6 +1106,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "backends": _cmd_backends,
         "transpile": _cmd_transpile,
+        "variational": _cmd_variational,
         "cache": _cmd_cache,
         "cache-server": _cmd_cache_server,
         "eval-server": _cmd_eval_server,

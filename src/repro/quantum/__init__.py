@@ -51,6 +51,7 @@ from repro.quantum.execution import (
     resolve_backend,
 )
 from repro.quantum.noise import NoiseModel, PauliNoise, ReadoutError
+from repro.quantum.parameters import Parameter, ParameterExpression
 from repro.quantum.qasm import circuit_to_qasm, qasm_to_circuit
 from repro.quantum.statevector import Statevector
 from repro.quantum.topology import CouplingMap
@@ -77,6 +78,8 @@ __all__ = [
     "LocalSimulator",
     "NoiseModel",
     "NoisySimulator",
+    "Parameter",
+    "ParameterExpression",
     "PauliNoise",
     "QuantumCircuit",
     "QuantumRegister",

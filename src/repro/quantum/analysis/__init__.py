@@ -31,6 +31,7 @@ from repro.quantum.analysis.diagnostics import (
     Diagnostic,
     analyze_circuit,
     structural_errors,
+    unbound_parameter_errors,
 )
 from repro.quantum.analysis.facts import (
     CircuitFacts,
@@ -50,4 +51,5 @@ __all__ = [
     "circuit_facts",
     "structural_errors",
     "structure_fingerprint",
+    "unbound_parameter_errors",
 ]

@@ -7,7 +7,12 @@ Severity bands (stable codes — tooling and tests key on them):
   pre-flight rejects them before any cache or pool traffic:
   ``QA101`` gate on an out-of-range qubit, ``QA102`` conditional on a
   never-written (or out-of-range) clbit, ``QA103`` measurement into an
-  out-of-range clbit, ``QA104`` non-unitary (or unregistered) gate matrix.
+  out-of-range clbit, ``QA104`` non-unitary (or unregistered) gate matrix,
+  ``QA105`` unbound symbolic parameter reaching execution.  ``QA105`` is an
+  *execution-boundary* error: templates are legitimate programs for lint and
+  analysis (``analyze_circuit`` does not emit it), but the
+  ``ExecutionService`` pre-flight raises it in every validate mode — see
+  :func:`unbound_parameter_errors`.
 * ``QA2xx`` **warnings** — runnable but suspicious: ``QA201`` unused
   qubits, ``QA202`` gate after measurement on a measured qubit, ``QA203``
   unreachable conditional (tests a nonzero value before any write), and
@@ -23,6 +28,7 @@ import numpy as np
 from repro.quantum import gates as _gates
 from repro.quantum.analysis.facts import CircuitFacts, circuit_facts
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.parameters import is_symbolic, iter_parameters
 
 ERROR = "error"
 WARNING = "warning"
@@ -35,6 +41,7 @@ DIAGNOSTIC_CODES: dict[str, tuple[str, str]] = {
     "QA102": (ERROR, "conditional reads a clbit no measurement ever writes"),
     "QA103": (ERROR, "measurement writes a clbit outside the declared registers"),
     "QA104": (ERROR, "gate matrix is non-unitary or unregistered"),
+    "QA105": (ERROR, "unbound symbolic parameter reaches execution"),
     "QA201": (WARNING, "declared qubit is never used"),
     "QA202": (WARNING, "gate applied to a qubit after it was measured"),
     "QA203": (WARNING, "conditional tests a nonzero value before any write"),
@@ -155,6 +162,31 @@ def structural_errors(facts: CircuitFacts) -> list[Diagnostic]:
     return out
 
 
+def unbound_parameter_errors(circuit: QuantumCircuit) -> list[Diagnostic]:
+    """``QA105``: one diagnostic per instruction carrying an unbound symbol.
+
+    Deliberately *not* part of :func:`analyze_circuit`: a parameterized
+    template is a legitimate program for lint/analysis purposes, and only
+    becomes an error at the execution boundary.  The ``ExecutionService``
+    pre-flight calls this in **every** validate mode (including ``"off"``) —
+    executing a symbol is meaningless, not merely suspicious.
+    """
+    out: list[Diagnostic] = []
+    for index, inst in enumerate(circuit):
+        names = sorted({p.name for p in iter_parameters(inst.params)})
+        if names:
+            out.append(
+                Diagnostic(
+                    "QA105",
+                    index,
+                    f"gate '{inst.name}' has unbound parameter(s) "
+                    f"{', '.join(names)}; call circuit.bind({{...}}) before "
+                    "execution",
+                )
+            )
+    return out
+
+
 def _unitarity_errors(circuit: QuantumCircuit) -> list[Diagnostic]:
     """``QA104``: flag instructions whose matrix is missing or non-unitary.
 
@@ -166,6 +198,10 @@ def _unitarity_errors(circuit: QuantumCircuit) -> list[Diagnostic]:
     checked: dict[tuple, bool] = {}
     for index, inst in enumerate(circuit):
         if inst.name in _gates.NON_UNITARY:
+            continue
+        if any(is_symbolic(p) for p in inst.params):
+            # A template gate has no matrix yet; unitarity is judged on the
+            # bound instances, and unboundness itself is QA105, not QA104.
             continue
         key = (inst.name, inst.params)
         verdict = checked.get(key)

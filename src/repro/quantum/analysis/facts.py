@@ -15,13 +15,29 @@ from dataclasses import dataclass, field
 
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.noise import NoiseModel
+from repro.quantum.parameters import iter_parameters
 from repro.utils.rng import stable_hash
 
 
 def structure_fingerprint(circuit: QuantumCircuit) -> str:
     """Hash of the gate *structure*: everything the full circuit fingerprint
     covers except parameters, so two sweep points of one ansatz group
-    together while arbitrary-angle rotations stay distinct per unit."""
+    together while arbitrary-angle rotations stay distinct per unit.
+
+    Computed **once per structure**: circuits produced by
+    :meth:`QuantumCircuit.bind` share their template's fingerprint (the
+    structure is the template's by construction), and the template itself
+    memoises the digest keyed on its instruction count, so an N-point sweep
+    hashes the structure a single time.  Mutating a circuit after binding
+    changes its instruction count, which invalidates both fast paths.
+    """
+    provenance = getattr(circuit, "_bound_from", None)
+    if provenance is not None and provenance.matches(circuit):
+        return structure_fingerprint(provenance.template)
+    size = len(circuit._instructions)
+    memo = getattr(circuit, "_structure_fp_memo", None)
+    if memo is not None and memo[0] == size:
+        return memo[1]
     payload = (
         circuit.num_qubits,
         circuit.num_clbits,
@@ -30,7 +46,9 @@ def structure_fingerprint(circuit: QuantumCircuit) -> str:
             for inst in circuit
         ),
     )
-    return f"{stable_hash('structure', payload):016x}"
+    fp = f"{stable_hash('structure', payload):016x}"
+    circuit._structure_fp_memo = (size, fp)
+    return fp
 
 
 @dataclass(frozen=True)
@@ -78,6 +96,9 @@ class CircuitFacts:
     #: ``(instruction index, qubit)`` for non-measure operations touching an
     #: already-measured qubit (what disqualifies the fast sampling path).
     gates_after_measure: tuple[tuple[int, int], ...] = ()
+    #: Unbound symbolic parameter names in first-appearance order — the
+    #: circuit's *parameter signature*.  Empty for concrete circuits.
+    parameters: tuple[str, ...] = ()
     #: Gate-structure hash; ``None`` unless requested (it costs a second
     #: pass over the instruction tuples plus a BLAKE2b digest).
     structure_fingerprint: str | None = None
@@ -109,6 +130,11 @@ class CircuitFacts:
             or self.bad_clbit_writes
             or self.never_written_reads
         )
+
+    @property
+    def is_parameterized(self) -> bool:
+        """Whether any instruction carries an unbound symbol."""
+        return bool(self.parameters)
 
     @property
     def trajectory_eligible(self) -> bool:
@@ -162,6 +188,7 @@ def circuit_facts(
     num_conditionals = 0
     has_reset = False
     has_measurements = False
+    parameters: dict[str, None] = {}  # insertion-ordered name set
     size = 0
     depth = 0
     level: dict[tuple[str, int], int] = {}
@@ -179,6 +206,8 @@ def circuit_facts(
             conditional_reads.append(
                 ConditionalRead(index, clbit, value, clbit in written)
             )
+        for param in iter_parameters(inst.params):
+            parameters.setdefault(param.name)
         if name == "barrier":
             continue
         size += 1
@@ -222,6 +251,7 @@ def circuit_facts(
         bad_clbit_writes=tuple(bad_clbit_writes),
         conditional_reads=tuple(conditional_reads),
         gates_after_measure=tuple(gates_after_measure),
+        parameters=tuple(parameters),
         structure_fingerprint=(
             structure_fingerprint(circuit) if fingerprint else None
         ),

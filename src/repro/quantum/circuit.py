@@ -11,10 +11,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import CircuitError, QuantumDeprecationError
 from repro.quantum import gates as _gates
+from repro.quantum.parameters import (
+    BoundProvenance,
+    Parameter,
+    bind_parameter,
+    is_symbolic,
+    iter_parameters,
+    normalize_params,
+)
 
 
 class QuantumRegister:
@@ -64,7 +72,9 @@ class Instruction:
         name: gate or directive name (``'h'``, ``'cx'``, ``'measure'``, ...).
         qubits: global qubit indices the operation acts on.
         clbits: global classical bit indices written (only for ``measure``).
-        params: float parameters (rotation angles).
+        params: gate parameters (rotation angles) — floats, or unbound
+            :class:`~repro.quantum.parameters.Parameter` symbols / affine
+            expressions in a template circuit.
         condition: optional ``(clbit, value)`` pair — the op applies only when
             that classical bit currently holds ``value``.
     """
@@ -92,7 +102,10 @@ class Instruction:
     def __repr__(self) -> str:
         parts = [self.name]
         if self.params:
-            parts.append("(" + ", ".join(f"{p:.4g}" for p in self.params) + ")")
+            rendered = ", ".join(
+                str(p) if is_symbolic(p) else f"{p:.4g}" for p in self.params
+            )
+            parts.append(f"({rendered})")
         parts.append(" q" + str(list(self.qubits)))
         if self.clbits:
             parts.append(" -> c" + str(list(self.clbits)))
@@ -117,6 +130,10 @@ class QuantumCircuit:
         self.cregs: list[ClassicalRegister] = []
         self._instructions: list[Instruction] = []
         self.metadata: dict = {}
+        #: Set by :meth:`bind` only — links a bound circuit to its template so
+        #: fingerprints and transpilation are shared per structure.  Copies
+        #: never carry it.
+        self._bound_from: BoundProvenance | None = None
         self._parse_regs(regs)
 
     def _parse_regs(self, regs: Sequence[int | QuantumRegister]) -> None:
@@ -211,11 +228,8 @@ class QuantumCircuit:
                     f"got {len(params)}"
                 )
             name = spec.name  # canonicalise aliases
-        for p in params:
-            if not math.isfinite(float(p)):
-                raise CircuitError(f"non-finite gate parameter {p!r}")
         self._instructions.append(
-            Instruction(name, qubits, clbits, tuple(float(p) for p in params), condition)
+            Instruction(name, qubits, clbits, normalize_params(params), condition)
         )
         return self
 
@@ -442,6 +456,98 @@ class QuantumCircuit:
         for _ in range(abs(exponent) - 1):
             out.compose(base)
         return out
+
+    # -- symbolic parameters -----------------------------------------------------
+
+    @property
+    def parameters(self) -> tuple[Parameter, ...]:
+        """Unbound parameters in first-appearance order (deduplicated)."""
+        seen: dict[str, Parameter] = {}
+        for inst in self._instructions:
+            for param in iter_parameters(inst.params):
+                seen.setdefault(param.name, param)
+        return tuple(seen.values())
+
+    @property
+    def num_parameters(self) -> int:
+        return len(self.parameters)
+
+    def is_parameterized(self) -> bool:
+        """Whether any instruction still carries an unbound symbol."""
+        return any(
+            any(is_symbolic(p) for p in inst.params)
+            for inst in self._instructions
+        )
+
+    def bind(
+        self,
+        values: Mapping[Parameter | str, float],
+        *,
+        allow_unused: bool = False,
+    ) -> "QuantumCircuit":
+        """Return a concrete circuit with every symbol replaced by its value.
+
+        ``values`` maps :class:`Parameter` objects (or their names) to floats.
+        Every parameter in the circuit must be bound; keys naming no circuit
+        parameter raise unless ``allow_unused=True``.  Binding replays each
+        expression's recorded float ops, so the result is bit-identical to
+        building the circuit with the concrete values directly.
+        """
+        named: dict[str, float] = {}
+        for key, raw in values.items():
+            name = key.name if isinstance(key, Parameter) else str(key)
+            try:
+                value = float(raw)
+            except (TypeError, ValueError) as exc:
+                raise CircuitError(
+                    f"binding for '{name}' is not a number: {raw!r}"
+                ) from exc
+            if not math.isfinite(value):
+                raise CircuitError(f"non-finite binding {raw!r} for '{name}'")
+            named[name] = value
+        params = self.parameters
+        param_names = [p.name for p in params]
+        missing = [n for n in param_names if n not in named]
+        if missing:
+            raise CircuitError(
+                f"bind() is missing values for parameter(s): {', '.join(missing)}"
+            )
+        if not allow_unused:
+            unused = [n for n in named if n not in param_names]
+            if unused:
+                raise CircuitError(
+                    f"bind() got values for unknown parameter(s): "
+                    f"{', '.join(sorted(unused))} (pass allow_unused=True to ignore)"
+                )
+        bound = self.copy_empty(name=self.name)
+        bound.metadata = dict(self.metadata)
+        for inst in self._instructions:
+            if any(is_symbolic(p) for p in inst.params):
+                new_params = tuple(
+                    bind_parameter(p, named) for p in inst.params
+                )
+                for value in new_params:
+                    if not math.isfinite(value):
+                        raise CircuitError(
+                            f"binding produced non-finite parameter {value!r} "
+                            f"for gate '{inst.name}'"
+                        )
+                bound._instructions.append(
+                    Instruction(
+                        inst.name, inst.qubits, inst.clbits, new_params,
+                        inst.condition,
+                    )
+                )
+            else:
+                bound._instructions.append(inst)
+        if params:
+            bound._bound_from = BoundProvenance(
+                template=self,
+                names=tuple(param_names),
+                values=tuple(named[n] for n in param_names),
+                size=len(bound._instructions),
+            )
+        return bound
 
     # -- queries ----------------------------------------------------------------
 

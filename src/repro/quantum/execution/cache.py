@@ -50,7 +50,26 @@ def circuit_fingerprint(circuit: QuantumCircuit) -> str:
     clbits, parameters, conditions) — everything the simulator reads.  Circuit
     names and metadata are deliberately excluded: two identically-built
     circuits with different labels are the same execution.
+
+    Circuits produced by :meth:`QuantumCircuit.bind` take a fast path: their
+    identity is ``(template structure, binding vector)``, so an N-point sweep
+    hashes the instruction stream once (on the template) and each point costs
+    only a digest over its values.  The binding vector is exactly what
+    distinguishes two sweep points, so the result-cache key still separates
+    them; a bound circuit and an identically-built concrete circuit may carry
+    different fingerprints (two cache keys for one execution — harmless,
+    since results are deterministic under the seed either way).
     """
+    provenance = getattr(circuit, "_bound_from", None)
+    if provenance is not None and provenance.matches(circuit):
+        template_fp = circuit_fingerprint(provenance.template)
+        return (
+            f"{stable_hash('bound-circuit', template_fp, provenance.values):016x}"
+        )
+    size = len(circuit._instructions)
+    memo = getattr(circuit, "_circuit_fp_memo", None)
+    if memo is not None and memo[0] == size:
+        return memo[1]
     payload = (
         circuit.num_qubits,
         circuit.num_clbits,
@@ -59,7 +78,9 @@ def circuit_fingerprint(circuit: QuantumCircuit) -> str:
             for inst in circuit
         ),
     )
-    return f"{stable_hash('circuit', payload):016x}"
+    fp = f"{stable_hash('circuit', payload):016x}"
+    circuit._circuit_fp_memo = (size, fp)
+    return fp
 
 
 def noise_fingerprint(noise: NoiseModel | None) -> str:

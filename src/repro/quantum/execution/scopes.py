@@ -52,6 +52,7 @@ SCOPE_FIELDS = (
     "cache_evictions",
     "programs_validated",
     "rejected_static",
+    "rejected_unbound",
     "transpiles",
     "transpile_cache_hits",
 )

@@ -71,9 +71,13 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 
-from repro.errors import BackendError, ValidationError
+from repro.errors import BackendError, TranspilerError, ValidationError
 from repro.quantum import batchsim
-from repro.quantum.analysis import Diagnostic, analyze_circuit
+from repro.quantum.analysis import (
+    Diagnostic,
+    analyze_circuit,
+    unbound_parameter_errors,
+)
 from repro.quantum.backend import Backend, Result
 from repro.quantum.circuit import QuantumCircuit
 from repro.quantum.execution.cache import (
@@ -252,8 +256,13 @@ class ExecutionService:
         self._batch_groups = 0
         self._programs_validated = 0
         self._rejected_static = 0
+        self._rejected_unbound = 0
         self._transpiles = 0
         self._transpile_cache_hits = 0
+        #: Template keys whose symbolic transpilation raised (e.g. ZYZ needs
+        #: concrete angles); sweeps over these fall back to transpiling each
+        #: bound point without retrying the template every time.
+        self._untranspilable_templates: set[CacheKey] = set()
         _live_services.add(self)
 
     # -- public API --------------------------------------------------------------
@@ -408,6 +417,34 @@ class ExecutionService:
         coupling_map, basis = resolve_lowering(backend, coupling_map, basis_gates)
         level = resolve_optimization_level(optimization_level)
         scopes = active_scopes()
+        provenance = getattr(circuit, "_bound_from", None)
+        if provenance is not None and provenance.matches(circuit):
+            # Bound-template fast path: transpile the *unbound* structure once
+            # (cached under the template's key), then bind the lowered output
+            # with this point's values — an N-point sweep costs 1 transpile.
+            # Symbolic lowering can legitimately fail (ZYZ resynthesis needs
+            # concrete angles); such templates are negatively cached and their
+            # sweep points fall through to concrete per-point transpilation.
+            template_key = transpile_cache_key(
+                provenance.template, coupling_map, basis, initial_layout, level
+            )
+            with self._lock:
+                known_failure = template_key in self._untranspilable_templates
+            if not known_failure:
+                try:
+                    lowered = self.transpile(
+                        provenance.template,
+                        backend=backend,
+                        coupling_map=coupling_map,
+                        basis_gates=basis,
+                        initial_layout=initial_layout,
+                        optimization_level=level,
+                    )
+                except TranspilerError:
+                    with self._lock:
+                        self._untranspilable_templates.add(template_key)
+                else:
+                    return lowered.bind(provenance.mapping, allow_unused=True)
         key = None
         if self.cache is not None:
             key = transpile_cache_key(
@@ -461,6 +498,7 @@ class ExecutionService:
                 "batch_groups": self._batch_groups,
                 "programs_validated": self._programs_validated,
                 "rejected_static": self._rejected_static,
+                "rejected_unbound": self._rejected_unbound,
                 "transpiles": self._transpiles,
                 "transpile_cache_hits": self._transpile_cache_hits,
                 "executor": self.executor,
@@ -526,10 +564,32 @@ class ExecutionService:
         ``rejected_static`` per defective circuit); ``warn`` emits one warning
         per diagnosed circuit and proceeds.  Both modes credit
         ``programs_validated`` per circuit analyzed.
+
+        The ``QA105`` unbound-parameter check runs first and in **every**
+        mode, including ``"off"``: executing a symbol is meaningless in any
+        mode, so templates are rejected (crediting ``rejected_unbound`` per
+        offending circuit) before any cache or pool traffic.
         """
+        scopes = active_scopes()
+        unbound: list[Diagnostic] = []
+        unbound_rejected = 0
+        for qc in batch:
+            diags = unbound_parameter_errors(qc)
+            if diags:
+                unbound_rejected += 1
+                unbound.extend(diags)
+        if unbound:
+            with self._lock:
+                self._rejected_unbound += unbound_rejected
+            credit(scopes, "rejected_unbound", unbound_rejected)
+            rendered = "; ".join(d.render() for d in unbound)
+            raise ValidationError(
+                f"{unbound_rejected} of {len(batch)} circuit(s) carry unbound "
+                f"symbolic parameters: {rendered}",
+                diagnostics=unbound,
+            )
         if self.validate == "off":
             return
-        scopes = active_scopes()
         errors: list[Diagnostic] = []
         rejected = 0
         for position, qc in enumerate(batch):

@@ -42,6 +42,7 @@ from collections.abc import Sequence
 
 from repro.quantum.circuit import Instruction, QuantumCircuit
 from repro.quantum.execution.cache import CacheKey, circuit_fingerprint
+from repro.quantum.parameters import params_from_json, params_to_json
 from repro.quantum.topology import CouplingMap
 from repro.utils.rng import stable_hash
 
@@ -109,7 +110,7 @@ def encode_transpiled(
                 inst.name,
                 list(inst.qubits),
                 list(inst.clbits),
-                list(inst.params),
+                params_to_json(inst.params),
                 list(inst.condition) if inst.condition is not None else None,
             ]
             for inst in circuit.instructions
@@ -163,7 +164,7 @@ def decode_transpiled(
                 str(name),
                 tuple(int(q) for q in qubits),
                 tuple(int(c) for c in clbits),
-                tuple(float(p) for p in params),
+                params_from_json(params),
                 tuple(int(v) for v in condition) if condition is not None else None,
             )
             for name, qubits, clbits, params, condition in raw_instructions

@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import GateError
+from repro.quantum import parameters as _params
 
 Matrix = np.ndarray
 MatrixBuilder = Callable[..., Matrix]
@@ -232,6 +233,12 @@ class GateSpec:
             )
         if self.num_params == 0:
             return self.builder()
+        if any(_params.is_symbolic(p) for p in params):
+            raise GateError(
+                f"[{_params.UNBOUND_PARAMETER_CODE}] gate '{self.name}' has "
+                "unbound symbolic parameter(s); bind the circuit before "
+                "requesting a matrix"
+            )
         return self.builder(*params)
 
 

@@ -346,3 +346,15 @@ def random_circuit(
     if measure:
         qc.measure(list(range(num_qubits)), list(range(num_qubits)))
     return qc
+
+
+# The parameterized (variational) workload family — QAOA and the
+# hardware-efficient ansatz — lives in :mod:`repro.quantum.variational`;
+# re-exported here so this module stays the one-stop catalogue of reference
+# circuits.  Unlike the builders above these return unbound templates: call
+# ``.bind({...})`` (or hand them to ``repro.quantum.variational.minimize``)
+# before execution.
+from repro.quantum.variational.ansatz import (  # noqa: E402
+    hardware_efficient_ansatz,
+    qaoa_ansatz,
+)

@@ -4,6 +4,14 @@ Supports the gate set of :mod:`repro.quantum.gates`, ``measure``, ``reset``,
 ``barrier`` and single-bit ``if`` conditions.  The exporter emits one flat
 ``q``/``c`` register pair; the importer accepts multiple registers and
 flattens them in declaration order.
+
+Parameterized templates round-trip: an unbound
+:class:`~repro.quantum.parameters.Parameter` is emitted as its identifier
+(``rz(theta) q[0];``) and an affine expression in canonical form
+(``rz(0.5*theta) q[0];``, ``rz(2.0*theta-1.5) q[0];``); the importer parses
+identifiers back into :class:`Parameter` symbols.  Parameter expressions are
+evaluated with a small arithmetic grammar (numbers, ``pi``, identifiers,
+``+ - * /``, unary minus, parentheses) — no ``eval``.
 """
 
 from __future__ import annotations
@@ -11,9 +19,10 @@ from __future__ import annotations
 import math
 import re
 
-from repro.errors import QasmError
+from repro.errors import CircuitError, QasmError
 from repro.quantum import gates as _gates
 from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.parameters import Parameter, is_symbolic
 
 _HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";'
 
@@ -44,7 +53,7 @@ def circuit_to_qasm(circuit: QuantumCircuit) -> str:
             lines.append(f"{prefix}reset q[{inst.qubits[0]}];")
             continue
         params = (
-            "(" + ",".join(_format_angle(p) for p in inst.params) + ")"
+            "(" + ",".join(_format_param(p) for p in inst.params) + ")"
             if inst.params
             else ""
         )
@@ -75,17 +84,138 @@ _TOKEN_RE = re.compile(
     re.VERBOSE,
 )
 
-_SAFE_EXPR_RE = re.compile(r"^[\d\s+\-*/().eE]*$")
+def _format_param(value) -> str:
+    """Render one gate parameter: symbols as identifiers/affine text, floats
+    as multiples of pi when exact (see :func:`_format_angle`)."""
+    if isinstance(value, Parameter):
+        return value.name
+    if is_symbolic(value):
+        coeff, offset = value.coefficients()
+        name = value.parameter.name
+        if coeff == 1.0:
+            text = name
+        elif coeff == -1.0:
+            text = f"-{name}"
+        else:
+            text = f"{coeff!r}*{name}"
+        if offset == 0.0:
+            return text
+        if offset > 0:
+            return f"{text}+{offset!r}"
+        return f"{text}-{-offset!r}"
+    return _format_angle(value)
 
 
-def _eval_angle(expr: str) -> float:
-    expr = expr.strip().replace("pi", repr(math.pi))
-    if not _SAFE_EXPR_RE.match(expr):
-        raise QasmError(f"unsafe parameter expression '{expr}'")
+_NUMBER_RE = re.compile(
+    r"(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?"
+)
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+class _ParamParser:
+    """Recursive-descent evaluator for one QASM parameter expression.
+
+    Grammar (left-associative, unary minus binds tighter than ``*``/``/``)::
+
+        expr   := term (('+'|'-') term)*
+        term   := factor (('*'|'/') factor)*
+        factor := ('-'|'+')* atom
+        atom   := NUMBER | 'pi' | IDENT | '(' expr ')'
+
+    Numbers and ``pi`` evaluate to floats with the same operation order the
+    old ``eval``-based path used, so concrete inputs parse bit-identically;
+    any other identifier becomes a :class:`Parameter` and the surrounding
+    arithmetic builds a :class:`ParameterExpression`.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def parse(self):
+        value = self._expr()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise QasmError(
+                f"trailing input in parameter expression "
+                f"'{self.text}' at offset {self.pos}"
+            )
+        return value
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expr(self):
+        value = self._term()
+        while self._peek() in ("+", "-"):
+            op = self.text[self.pos]
+            self.pos += 1
+            other = self._term()
+            value = value + other if op == "+" else value - other
+        return value
+
+    def _term(self):
+        value = self._factor()
+        while self._peek() in ("*", "/"):
+            op = self.text[self.pos]
+            self.pos += 1
+            other = self._factor()
+            value = value * other if op == "*" else value / other
+        return value
+
+    def _factor(self):
+        negate = False
+        while self._peek() in ("+", "-"):
+            if self.text[self.pos] == "-":
+                negate = not negate
+            self.pos += 1
+        value = self._atom()
+        return -value if negate else value
+
+    def _atom(self):
+        ch = self._peek()
+        if not ch:
+            raise QasmError(
+                f"unexpected end of parameter expression '{self.text}'"
+            )
+        if ch == "(":
+            self.pos += 1
+            value = self._expr()
+            if self._peek() != ")":
+                raise QasmError(
+                    f"unbalanced parentheses in parameter '{self.text}'"
+                )
+            self.pos += 1
+            return value
+        number = _NUMBER_RE.match(self.text, self.pos)
+        if number:
+            self.pos = number.end()
+            return float(number.group())
+        ident = _IDENT_RE.match(self.text, self.pos)
+        if ident:
+            self.pos = ident.end()
+            name = ident.group()
+            if name == "pi":
+                return math.pi
+            return Parameter(name)
+        raise QasmError(
+            f"cannot parse parameter expression '{self.text}' "
+            f"at offset {self.pos}"
+        )
+
+
+def _eval_param(expr: str):
+    """One QASM parameter: a float, or a symbol/affine expression of one."""
     try:
-        return float(eval(expr, {"__builtins__": {}}, {}))  # noqa: S307
-    except Exception as exc:
-        raise QasmError(f"cannot evaluate parameter '{expr}'") from exc
+        return _ParamParser(expr.strip()).parse()
+    except (CircuitError, TypeError, ZeroDivisionError) as exc:
+        # Symbol-times-symbol products, division by a symbol, etc.
+        raise QasmError(f"cannot evaluate parameter '{expr}': {exc}") from exc
 
 
 def qasm_to_circuit(text: str) -> QuantumCircuit:
@@ -149,7 +279,7 @@ def qasm_to_circuit(text: str) -> QuantumCircuit:
                 )
             condition = (cval.bit_length() - 1, 1)
         params = tuple(
-            _eval_angle(p) for p in (match.group("params") or "").split(",") if p.strip()
+            _eval_param(p) for p in (match.group("params") or "").split(",") if p.strip()
         )
         args = [a for a in match.group("args").split(",") if a.strip()]
         if name == "measure":

@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import TranspilerError
 from repro.quantum import gates as _gates
 from repro.quantum.circuit import Instruction
+from repro.quantum.parameters import is_symbolic
 
 _PI = math.pi
 _ATOL = 1e-9
@@ -319,6 +320,15 @@ def _decompose_one(inst: Instruction, basis: tuple[str, ...]) -> list[Instructio
     if inst.name in basis:
         return [inst]
     if len(inst.qubits) == 1:
+        if any(is_symbolic(p) for p in inst.params):
+            # ZYZ extraction is numeric; a symbolic angle has no matrix yet.
+            # The service's bound-template fast path catches this and falls
+            # back to transpiling each bound point concretely.
+            raise TranspilerError(
+                f"cannot resynthesise 1-qubit gate '{inst.name}' with "
+                f"symbolic parameter(s) into basis {basis}; bind the circuit "
+                "or include the gate in the basis"
+            )
         return one_qubit_to_basis(inst.matrix(), inst.qubits[0], basis)
     expanded = expand_instruction(inst)
     if len(expanded) == 1 and expanded[0].name == inst.name:

@@ -12,9 +12,14 @@ import math
 
 from repro.quantum import gates as _gates
 from repro.quantum.circuit import Instruction
+from repro.quantum.parameters import is_symbolic
 
 _ATOL = 1e-10
 _MERGEABLE = {"rx", "ry", "rz", "p"}
+
+
+def _has_symbolic(inst: Instruction) -> bool:
+    return any(is_symbolic(p) for p in inst.params)
 
 
 def _commutes_past(pending: Instruction, inst: Instruction) -> bool:
@@ -72,6 +77,11 @@ def _is_inverse_pair(a: Instruction, b: Instruction) -> bool:
     if spec_a.hermitian_pair == b.name and a.params == b.params:
         return True
     if a.name == b.name and a.name in _MERGEABLE:
+        # Symbolic angles have no numeric sum to test; the equality-based
+        # branches above remain sound for them (identical symbols compare
+        # equal), but numeric wrapping must not run on a symbol.
+        if _has_symbolic(a) or _has_symbolic(b):
+            return False
         return abs(_wrap(a.params[0] + b.params[0])) < _ATOL
     return False
 
@@ -87,12 +97,19 @@ def merge_rotations(instructions: list[Instruction]) -> list[Instruction]:
     """Fuse adjacent same-axis rotations on the same qubit; drop zero angles."""
     out: list[Instruction] = []
     for inst in instructions:
+        # Symbolic rotations pass through untouched: merging would replace
+        # the exact bind-time float ops with wrapped arithmetic and break
+        # bind/transpile commutation bit-for-bit.
+        symbolic = _has_symbolic(inst)
         partner = (
             _find_merge_partner(out, inst)
-            if inst.name in _MERGEABLE and inst.condition is None and out
+            if inst.name in _MERGEABLE
+            and not symbolic
+            and inst.condition is None
+            and out
             else None
         )
-        if partner is not None:
+        if partner is not None and not _has_symbolic(out[partner]):
             j = partner
             merged_angle = _wrap(out[j].params[0] + inst.params[0])
             if abs(merged_angle) < _ATOL:
@@ -102,7 +119,11 @@ def merge_rotations(instructions: list[Instruction]) -> list[Instruction]:
                     inst.name, inst.qubits, inst.clbits, (merged_angle,)
                 )
             continue
-        if inst.name in _MERGEABLE and abs(_wrap(inst.params[0])) < _ATOL:
+        if (
+            inst.name in _MERGEABLE
+            and not symbolic
+            and abs(_wrap(inst.params[0])) < _ATOL
+        ):
             continue  # identity rotation
         out.append(inst)
     return out

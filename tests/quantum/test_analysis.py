@@ -215,7 +215,7 @@ class TestDiagnostics:
             assert severity == {"1": ERROR, "2": WARNING, "3": INFO}[code[2]]
             assert description
         assert set(DIAGNOSTIC_CODES) == {
-            "QA101", "QA102", "QA103", "QA104",
+            "QA101", "QA102", "QA103", "QA104", "QA105",
             "QA201", "QA202", "QA203", "QA204", "QA301",
         }
 

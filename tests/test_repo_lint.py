@@ -253,6 +253,35 @@ class TestR004DeadPassFunctions:
         assert repo_lint.lint_paths([tree]) == []
 
 
+class TestR005ParamFloatCoercion:
+    def test_subscript_coercion_flagged(self):
+        assert codes("v = float(inst.params[0])") == ["R005"]
+
+    def test_loop_variable_coercion_flagged(self):
+        assert codes(
+            """
+            def f(inst):
+                for p in inst.params:
+                    use(float(p))
+            """
+        ) == ["R005"]
+
+    def test_comprehension_variable_flagged(self):
+        assert codes("vals = [float(p) for p in inst.params]") == ["R005"]
+
+    def test_unrelated_float_allowed(self):
+        assert codes("x = float(shots)\ny = float('1.5')") == []
+
+    def test_sanctioned_helper_allowed(self):
+        assert codes("vals = as_concrete(inst.params, context=name)") == []
+
+    def test_binding_module_exempt(self):
+        assert codes(
+            "v = float(inst.params[0])",
+            path="src/repro/quantum/parameters.py",
+        ) == []
+
+
 class TestDriver:
     def test_syntax_error_reported_not_raised(self):
         found = lint("def broken(:\n")

@@ -38,6 +38,17 @@ R004  Dead transpiler pass: a public function in a pass-library module
       ``lint_paths`` over the whole linted tree, not per file — and only
       when the tree contains files beyond the pass modules themselves.
 
+R005  Direct ``float()`` coercion of a gate parameter outside the binding
+      module: ``float(inst.params[i])``, or ``float(p)`` where ``p`` loops
+      over a ``.params`` sequence.  Since symbolic parameters landed, a gate
+      param may be a ``Parameter``/``ParameterExpression`` whose ``__float__``
+      raises [QA105] at runtime — ad-hoc coercion turns an unbound template
+      into a crash deep inside a kernel instead of a pre-flight diagnostic.
+      Route through ``repro.quantum.parameters`` (``as_concrete`` /
+      ``bind_parameter`` / ``circuit.bind``) so symbolic values are either
+      bound or rejected with the coded error.  Allowed only in
+      ``quantum/parameters.py`` (the sanctioned coercions live there).
+
 Usage::
 
     python tools/repo_lint.py [paths...]   # default: src/
@@ -66,6 +77,9 @@ R003_DIRS = {"batchsim"}
 #: Pass-library modules (by trailing path parts) whose public functions R004
 #: requires to be referenced somewhere outside their own module.
 R004_PASS_MODULES = (("transpiler", "passes.py"),)
+
+#: The one module allowed to coerce gate params with float() (R005).
+R005_ALLOWED = (("quantum", "parameters.py"),)
 
 
 class Violation:
@@ -233,10 +247,60 @@ def _check_dead_pass_functions(
     return found
 
 
+def _is_params_attribute(node: ast.expr) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == "params"
+
+
+def _check_param_float_coercion(path: Path, tree: ast.AST) -> list[Violation]:
+    """R005: ``float()`` applied to gate params outside the binding module."""
+    if any(
+        path.parts[-len(suffix):] == suffix for suffix in R005_ALLOWED
+    ):
+        return []
+    # Names bound by ``for p in <expr>.params`` anywhere in the module; loop
+    # variables are function-local in practice, so module-level collection
+    # only widens the net (no false negatives, and a same-named variable
+    # holding params elsewhere is exactly what the rule should catch).
+    param_loop_names: set[str] = set()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, (ast.For, ast.comprehension))
+            and _is_params_attribute(node.iter)
+            and isinstance(node.target, ast.Name)
+        ):
+            param_loop_names.add(node.target.id)
+    found = []
+    message = (
+        "float() coercion of a gate parameter: symbolic "
+        "Parameter/ParameterExpression values raise [QA105] here at "
+        "runtime; use repro.quantum.parameters.as_concrete (or bind the "
+        "circuit) so unbound templates fail with the coded diagnostic"
+    )
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            continue
+        arg = node.args[0]
+        direct = (
+            isinstance(arg, ast.Subscript)
+            and _is_params_attribute(arg.value)
+        ) or _is_params_attribute(arg)
+        via_loop = isinstance(arg, ast.Name) and arg.id in param_loop_names
+        if direct or via_loop:
+            found.append(Violation(path, node.lineno, "R005", message))
+    return found
+
+
 CHECKS = (
     _check_direct_backend_calls,
     _check_stats_diffs,
     _check_column_folded_matmul,
+    _check_param_float_coercion,
 )
 
 
