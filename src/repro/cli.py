@@ -134,6 +134,22 @@ def _stop_coordinator(coordinator, served: str, ephemeral: bool) -> None:
         shutil.rmtree(served, ignore_errors=True)
 
 
+def _load_tenants_or_fail(tenant_file: str | None):
+    """Resolve ``--tenant-file`` / ``$REPRO_TENANT_FILE`` into a registry.
+
+    Returns ``None`` for single-tenant mode, a ``TenantRegistry`` on
+    success, and ``Ellipsis`` (after printing the error) when the file is
+    missing or malformed — a typo'd tenant file must refuse to serve, not
+    silently fall back to open/single-tenant."""
+    from repro.quantum.execution.tenants import load_tenants
+
+    try:
+        return load_tenants(tenant_file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load tenant file: {exc}")
+        return Ellipsis
+
+
 def _start_coordinator(
     served: str,
     host: str,
@@ -141,6 +157,8 @@ def _start_coordinator(
     token: str | None,
     fallback_workers: int | None = None,
     lease_timeout: float | None = None,
+    tenants=None,
+    job_store=None,
 ):
     """Boot an EvalCoordinator on a resolved store; announcements go to
     stderr so eval tables on stdout stay byte-identical to the
@@ -159,15 +177,24 @@ def _start_coordinator(
         token=token,
         fallback_workers=fallback_workers,
         lease_timeout=lease_timeout or DEFAULT_LEASE_TIMEOUT,
+        tenants=tenants,
+        job_store=job_store,
     ).start()
     print(
         f"coordinator serving cache + work queue at {coordinator.url} "
-        f"(store: {served}{', token auth on' if token else ''})",
+        f"(store: {served}{', token auth on' if token else ''}"
+        + (f", {len(tenants)} tenant(s)" if tenants is not None else "")
+        + (", job store on" if job_store is not None else "")
+        + ")",
         file=sys.stderr,
     )
     print(
         f"attach workers:  repro eval-worker --url {coordinator.url}"
         + (" --token <token>" if token else ""),
+        file=sys.stderr,
+    )
+    print(
+        f"scrape metrics:  curl {coordinator.url}/metrics",
         file=sys.stderr,
     )
     return coordinator
@@ -425,18 +452,24 @@ def _cmd_cache_server(args) -> int:
         return 2
     limits = _limits_from_args(args)
     token = _resolve_token(args.token)
+    tenants = _load_tenants_or_fail(args.tenant_file)
+    if tenants is Ellipsis:
+        return 2
     server = CacheServer(
         cache_dir, host=args.host, port=args.port, limits=limits,
-        quiet=False, token=token,
+        quiet=False, token=token, tenants=tenants,
     )
     print(
         f"serving execution result cache {cache_dir} "
         f"({len(server.disk)} entries) at {server.url}"
         + (f" with limits {limits}" if limits is not None else "")
         + (" [token auth on]" if token else "")
+        + (f" [{len(tenants)} tenant(s)]" if tenants is not None else "")
     )
     print("point workers at it:  repro eval <arm> --remote-cache "
           f"{server.url}   (or REPRO_CACHE_URL={server.url})")
+    print(f"scrape metrics:  curl -H 'Authorization: Bearer <key>' "
+          f"{server.url}/metrics")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -458,14 +491,26 @@ def _cmd_eval_server(args) -> int:
     settings = _arm_settings(args.arm, args.samples)
     if settings is None:
         return 2
+    import os
+
+    tenants = _load_tenants_or_fail(args.tenant_file)
+    if tenants is Ellipsis:
+        return 2
     served, ephemeral = _served_dir(args.dir)
     # The coordinator's own (fallback) execution must read and warm the
     # store it serves, exactly like `eval --cache-dir` would.
     _serve_store_locally(served)
+    job_store = None
+    if not args.no_job_store:
+        # `jobs/` beside (not inside a glob of) the cache entries, so the
+        # store's eviction sweep never touches job records.
+        job_store = args.job_store or os.path.join(served, "jobs")
     coordinator = _start_coordinator(
         served, args.host, args.port, _resolve_token(args.token),
         fallback_workers=args.fallback_workers,
         lease_timeout=args.lease_timeout,
+        tenants=tenants,
+        job_store=job_store,
     )
     try:
         result = evaluate(
@@ -1007,6 +1052,11 @@ def main(argv: list[str] | None = None) -> int:
         help="require this shared token on every endpoint "
         "(default: $REPRO_CACHE_TOKEN, else open)",
     )
+    server_parser.add_argument(
+        "--tenant-file", dest="tenant_file", default=None, metavar="JSON",
+        help="tenants.json with per-tenant API keys, rate limits, and "
+        "quotas (default: $REPRO_TENANT_FILE, else single-tenant)",
+    )
     for bounded in (cache_parser, server_parser):
         bounded.add_argument(
             "--max-bytes", dest="max_bytes", type=int, default=None,
@@ -1042,6 +1092,21 @@ def main(argv: list[str] | None = None) -> int:
         "--token", default=None,
         help="require this shared token on every cache and work endpoint "
         "(default: $REPRO_CACHE_TOKEN, else open)",
+    )
+    eval_server.add_argument(
+        "--tenant-file", dest="tenant_file", default=None, metavar="JSON",
+        help="tenants.json with per-tenant API keys, rate limits, quotas, "
+        "and fair-share priorities (default: $REPRO_TENANT_FILE, else "
+        "single-tenant)",
+    )
+    eval_server.add_argument(
+        "--job-store", dest="job_store", default=None, metavar="DIR",
+        help="directory persisting queued chunks across coordinator "
+        "restarts (default: <served dir>/jobs)",
+    )
+    eval_server.add_argument(
+        "--no-job-store", dest="no_job_store", action="store_true",
+        help="do not persist queued chunks (no restart recovery)",
     )
     eval_server.add_argument(
         "--lease-timeout", dest="lease_timeout", type=float, default=None,

@@ -32,6 +32,16 @@ The cooperating pieces (see the per-module docstrings for detail):
   one port, one shared token) and the :func:`run_worker` loop behind ``repro
   eval-worker``, which ship the eval engine's picklable episode chunks to
   remote machines with results bit-identical to the serial runner;
+* :mod:`~repro.quantum.execution.tenants` — multi-tenant admission
+  control for the serving tier: per-tenant API keys (``tenants.json`` /
+  ``--tenant-file``), token-bucket rate limits, byte/simulation quotas,
+  and fair-share priorities that become :class:`WorkQueue` lane weights;
+* :mod:`~repro.quantum.execution.jobstore` — the :class:`JobStore`
+  persisting queued coordinator work as atomic JSON-per-job records, so
+  a killed coordinator restarts and resumes bit-identically;
+* :mod:`~repro.quantum.execution.metrics` — Prometheus text rendering
+  behind the servers' ``GET /metrics`` endpoint (every ``stats()``
+  counter plus per-tenant request/throttle/eviction counts);
 * :mod:`~repro.quantum.execution.transpile_cache` — content addressing for
   the cached transpile stage: ``service.transpile(...)`` keys transpiled
   circuits by (circuit, coupling, basis, layout, level) fingerprints and
@@ -72,6 +82,8 @@ from repro.quantum.execution.dispatch import (
     run_worker,
 )
 from repro.quantum.execution.jobs import ExecutionJob, JobStatus
+from repro.quantum.execution.jobstore import JobStore
+from repro.quantum.execution.metrics import METRICS_CONTENT_TYPE, serving_metrics
 from repro.quantum.execution.pool import EXECUTOR_KINDS, WorkUnit, run_work_unit
 from repro.quantum.execution.remote_cache import (
     CACHE_TOKEN_ENV,
@@ -90,6 +102,13 @@ from repro.quantum.execution.scopes import (
     StatsScope,
     stats_scope,
     use_scope,
+)
+from repro.quantum.execution.tenants import (
+    TENANT_FILE_ENV,
+    Tenant,
+    TenantRegistry,
+    TokenBucket,
+    load_tenants,
 )
 from repro.quantum.execution.transpile_cache import (
     basis_fingerprint,
@@ -124,6 +143,14 @@ __all__ = [
     "ExecutionJob",
     "ExecutionService",
     "JobStatus",
+    "JobStore",
+    "METRICS_CONTENT_TYPE",
+    "TENANT_FILE_ENV",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "load_tenants",
+    "serving_metrics",
     "ResultCache",
     "StatsScope",
     "stats_scope",

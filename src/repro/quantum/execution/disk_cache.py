@@ -47,7 +47,7 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.quantum.execution.cache import CacheKey
@@ -178,6 +178,7 @@ class DiskResultCache:
         self,
         cache_dir: str | os.PathLike,
         limits: CacheLimits | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -190,6 +191,11 @@ class DiskResultCache:
         # The totals over-count relative to a store that other processes
         # delete from — which only triggers harmless extra scans.
         self._approx: list[int] | None = None
+        # The age-sweep *deadline* runs on a monotonic clock (injectable for
+        # tests): entry ages stay wall-clock (mtimes are wall time), but the
+        # "is the next sweep due yet" comparison must not — a backwards
+        # wall-clock step would otherwise defer age eviction indefinitely.
+        self._clock = clock
         self._age_sweep_due = 0.0
 
     def _reset_for_child(self) -> None:
@@ -230,27 +236,30 @@ class DiskResultCache:
         write evicted, so callers can attribute eviction pressure."""
         return self._write(self.path_for(key), encode_entry(key, counts, memory))
 
-    def put_entry(self, entry: object) -> bool:
+    def put_entry(self, entry: object) -> int | None:
         """Persist a pre-encoded entry (the HTTP server's upload path).
 
         The entry must decode against the key it embeds — i.e. it is
         re-verified and re-addressed here, so an uploader can never plant a
-        file under a digest that does not match its content.
+        file under a digest that does not match its content.  Returns the
+        eviction count of the underlying ``put`` on success (possibly 0 —
+        test ``is None`` for failure, not truthiness) and ``None`` when the
+        entry does not verify, so the server can attribute eviction
+        pressure to the uploading tenant.
         """
         from repro.quantum.execution.cache import CacheKey
 
         if not isinstance(entry, dict) or not isinstance(entry.get("key"), dict):
-            return False
+            return None
         try:
             key = CacheKey(**entry["key"])
         except TypeError:
-            return False
+            return None
         decoded = decode_entry(entry, key)
         if decoded is None:
-            return False
+            return None
         counts, memory = decoded
-        self.put(key, counts, memory)
-        return True
+        return self.put(key, counts, memory)
 
     def _write(self, path: Path, entry: dict) -> int:
         tmp = path.with_suffix(f".{os.getpid()}-{next(_tmp_ids)}.tmp")
@@ -290,7 +299,7 @@ class DiskResultCache:
             )
             sweep = (
                 policy.max_age_seconds is not None
-                and time.time() >= self._age_sweep_due
+                and self._clock() >= self._age_sweep_due
             )
             if not over and not sweep:
                 return 0
@@ -362,7 +371,11 @@ class DiskResultCache:
             # Exact totals from the scan re-anchor the running approximation.
             self._approx = [total, count]
             if policy.max_age_seconds is not None:
-                self._age_sweep_due = now + min(policy.max_age_seconds / 2, 60.0)
+                # Deadline on the monotonic clock; `now` above is wall time
+                # because entry ages compare against mtimes.
+                self._age_sweep_due = self._clock() + min(
+                    policy.max_age_seconds / 2, 60.0
+                )
             return evicted
 
     @staticmethod

@@ -32,7 +32,14 @@ Protocol (JSON over HTTP; binary chunk payloads travel base64-encoded):
 * ``POST /work/complete``   ``{"lease": n, "result": b64}`` → ``{"folded":
   bool}`` (false: stale/duplicate lease, the result was discarded); a result
   that does not even unpickle answers 400 and requeues the chunk;
-* ``GET  /work/status``     → queue counters.
+* ``GET  /work/status``     → queue counters (including per-lane depths).
+
+Multi-tenant serving (PR 10): with a
+:class:`~repro.quantum.execution.tenants.TenantRegistry` attached, tenant
+API keys authenticate alongside the admin token, leases charge per-tenant
+simulation quotas (429 when spent), chunks queue into per-tenant
+fair-share lanes, and a :class:`~repro.quantum.execution.jobstore.JobStore`
+persists queued work across coordinator restarts.
 
 Chunks are pickled ``(function, args)`` calls and results pickled
 ``("ok", value)`` / ``("err", exception)`` — executing one is running
@@ -59,10 +66,13 @@ from dataclasses import dataclass
 
 from repro.errors import BackendError
 from repro.quantum.execution.remote_cache import (
+    DEFAULT_THROTTLE_BACKOFF,
     MAX_ENTRY_BYTES,
+    MAX_THROTTLE_BACKOFF,
     CacheServer,
     _CacheRequestHandler,
     bearer_headers,
+    parse_retry_after,
     raise_auth_error,
     resolve_token,
 )
@@ -163,6 +173,14 @@ class WorkQueue:
     * **monotonic lease ids** — every lease (including a re-lease after
       expiry) gets a strictly larger id, so "which attempt is current" is
       always decidable.
+
+    Fair-share scheduling (PR 10): chunks are queued into per-tenant
+    *lanes* and leases are handed out weighted-round-robin across
+    non-empty lanes — each lane serves up to its priority weight
+    (default 1) per turn before the rotation moves on — so one tenant's
+    10k-chunk sweep cannot starve another tenant's 10-chunk job.  A
+    single-lane queue (every caller using the default lane) degenerates
+    to exactly the old FIFO order.
     """
 
     def __init__(
@@ -180,7 +198,13 @@ class WorkQueue:
         self._results_ready = threading.Condition(self._lock)
         self._payloads: list[bytes] = []
         self._state: list[str] = []  # "pending" | "leased" | "done"
-        self._pending: deque[int] = deque()
+        #: Pending indexes per lane, plus the round-robin rotation of lane
+        #: names and each lane's fair-share weight and current-turn credit.
+        self._lanes: dict[str, deque[int]] = {}
+        self._lane_order: deque[str] = deque()
+        self._lane_priority: dict[str, int] = {}
+        self._lane_credit: dict[str, int] = {}
+        self._chunk_lane: list[str] = []
         self._leases: dict[int, _Lease] = {}
         self._next_lease = itertools.count(1)
         #: Folded ``(index, result)`` pairs; the queue is agnostic about the
@@ -196,15 +220,24 @@ class WorkQueue:
 
     # -- queue surface ---------------------------------------------------------------
 
-    def add_chunks(self, payloads: list[bytes]) -> list[int]:
-        """Append chunks; returns their queue indexes (stable identifiers)."""
+    def set_lane_priority(self, lane: str, weight: int) -> None:
+        """Fair-share weight of one lane: chunks served per rotation turn."""
         with self._lock:
+            self._lane_priority[lane] = max(1, int(weight))
+
+    def add_chunks(self, payloads: list[bytes], lane: str = "") -> list[int]:
+        """Append chunks to a lane; returns their queue indexes (stable
+        identifiers).  The default lane keeps single-tenant callers on the
+        original strict-FIFO behavior."""
+        with self._lock:
+            pending = self._lane_locked(lane)
             indexes = []
             for payload in payloads:
                 index = len(self._payloads)
                 self._payloads.append(payload)
                 self._state.append("pending")
-                self._pending.append(index)
+                self._chunk_lane.append(lane)
+                pending.append(index)
                 indexes.append(index)
             return indexes
 
@@ -212,14 +245,15 @@ class WorkQueue:
         """Hand out one pending chunk: ``(lease_id, index, payload)``.
 
         Expired leases are requeued first, so a crashed worker's chunk is
-        re-leasable the moment its deadline passes.  ``None`` when nothing is
-        pending.
+        re-leasable the moment its deadline passes.  Lanes are drained
+        weighted-round-robin (see the class docstring).  ``None`` when
+        nothing is pending.
         """
         with self._lock:
             self._expire_locked()
-            if not self._pending:
+            index = self._next_pending_locked()
+            if index is None:
                 return None
-            index = self._pending.popleft()
             lease = _Lease(
                 lease_id=next(self._next_lease),
                 index=index,
@@ -284,12 +318,18 @@ class WorkQueue:
         """
         wanted = set(indexes)
         with self._lock:
-            self._pending = deque(
-                i for i in self._pending if i not in wanted
-            )
+            for lane, pending in self._lanes.items():
+                self._lanes[lane] = deque(
+                    i for i in pending if i not in wanted
+                )
             for lease_id, lease in list(self._leases.items()):
                 if lease.index in wanted:
                     del self._leases[lease_id]
+            # Drop the retired chunks' folded-but-unread results too, or an
+            # aborted run's completions would sit in the stream forever.
+            self._completed = deque(
+                item for item in self._completed if item[0] not in wanted
+            )
             for index in wanted:
                 if self._state[index] != "done":
                     self._state[index] = "done"
@@ -302,15 +342,31 @@ class WorkQueue:
             return self._expire_locked()
 
     def next_result(
-        self, timeout: float | None = None
+        self, timeout: float | None = None, within=None
     ) -> tuple[int, object] | None:
-        """Pop one completed ``(index, result)``; ``None`` on timeout."""
+        """Pop one completed ``(index, result)``; ``None`` on timeout.
+
+        ``within`` restricts the pop to a set of chunk indexes, so
+        concurrent folding loops (two tenants' ``run_chunks`` calls sharing
+        one coordinator) each consume exactly their own completions instead
+        of stealing from one shared stream.  ``None`` pops the leftmost
+        completion regardless — the single-run behavior.
+        """
         with self._results_ready:
-            if not self._completed:
+            item = self._pop_completed_locked(within)
+            if item is None:
                 self._results_ready.wait(timeout)
-            if not self._completed:
-                return None
-            return self._completed.popleft()
+                item = self._pop_completed_locked(within)
+            return item
+
+    def _pop_completed_locked(self, within) -> tuple[int, object] | None:
+        if within is None:
+            return self._completed.popleft() if self._completed else None
+        for position, item in enumerate(self._completed):
+            if item[0] in within:
+                del self._completed[position]
+                return item
+        return None
 
     # -- liveness signals ------------------------------------------------------------
 
@@ -344,18 +400,53 @@ class WorkQueue:
         with self._lock:
             return {
                 "total": len(self._payloads),
-                "pending": len(self._pending),
+                "pending": sum(len(q) for q in self._lanes.values()),
                 "leased": len(self._leases),
                 "done": self._done,
                 "requeues": sum(self.requeues.values()),
                 "workers": len(self.workers_seen),
+                "lanes": {
+                    lane: len(q) for lane, q in self._lanes.items()
+                },
             }
 
     # -- internals -------------------------------------------------------------------
 
+    def _lane_locked(self, lane: str) -> deque[int]:
+        pending = self._lanes.get(lane)
+        if pending is None:
+            pending = self._lanes[lane] = deque()
+            self._lane_order.append(lane)
+            self._lane_credit.setdefault(lane, 0)
+        return pending
+
+    def _next_pending_locked(self) -> int | None:
+        """Weighted round-robin across lanes: the front lane serves up to
+        its priority weight per turn (and yields early when it empties),
+        then rotates to the back."""
+        order = self._lane_order
+        for _ in range(len(order)):
+            lane = order[0]
+            pending = self._lanes[lane]
+            if not pending:
+                self._lane_credit[lane] = 0
+                order.rotate(-1)
+                continue
+            index = pending.popleft()
+            self._lane_credit[lane] += 1
+            if (
+                self._lane_credit[lane]
+                >= self._lane_priority.get(lane, 1)
+                or not pending
+            ):
+                self._lane_credit[lane] = 0
+                order.rotate(-1)
+            return index
+        return None
+
     def _requeue_locked(self, index: int) -> None:
         self._state[index] = "pending"
-        self._pending.append(index)
+        self._lane_locked(self._chunk_lane[index]).append(index)
         self.requeues[index] = self.requeues.get(index, 0) + 1
 
     def _expire_locked(self) -> int:
@@ -422,8 +513,18 @@ class _DispatchRequestHandler(_CacheRequestHandler):
     def _handle_lease(self, document: dict) -> None:
         worker = str(document.get("worker", ""))
         self.queue.note_remote_activity(worker)
+        tenant = self.tenant
+        if tenant is not None:
+            # Reserve against the simulation (chunk) quota *before* leasing
+            # so two racing leases cannot both slip under the limit; an
+            # empty queue refunds the reservation below.
+            if not self.tenants.try_charge_chunk(tenant):
+                self._send_json(429, {"error": "chunk quota exhausted"})
+                return
         leased = self.queue.lease(worker)
         if leased is None:
+            if tenant is not None:
+                self.tenants.refund_chunk(tenant)
             self._send_json(200, {"empty": True})
             return
         lease_id, index, payload = leased
@@ -502,6 +603,15 @@ class EvalCoordinator(CacheServer):
     ``fallback_workers=0`` disables local fallback (the fault-injection tests
     use this to guarantee chunks are executed remotely); ``None`` resolves
     like the eval engine's worker count (``REPRO_EVAL_WORKERS`` or 1).
+
+    Serving-tier extensions (PR 10): a
+    :class:`~repro.quantum.execution.tenants.TenantRegistry` turns on
+    per-tenant API keys, rate limits, quotas, and fair-share lanes (lane
+    weights follow tenant priorities); a
+    :class:`~repro.quantum.execution.jobstore.JobStore` (or a directory
+    path for one) persists every queued chunk so a coordinator killed
+    mid-run resumes bit-identically on restart — completed chunks re-fold
+    from disk, unfinished ones re-execute.
     """
 
     handler_class = _DispatchRequestHandler
@@ -517,11 +627,16 @@ class EvalCoordinator(CacheServer):
         lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
         fallback_workers: int | None = None,
         fallback_grace: float = DEFAULT_FALLBACK_GRACE,
+        tenants=None,
+        service=None,
+        job_store=None,
+        default_tenant: str = "",
     ) -> None:
-        if not token and not _loopback(host):
+        if not token and tenants is None and not _loopback(host):
             # Completing a chunk is executing code; the documented trust
-            # boundary is "fleets that share the token".  Enforce it: an
-            # open work queue may only ever face this machine.
+            # boundary is "fleets that share a credential" (the admin token
+            # or a tenant API key).  Enforce it: an open work queue may only
+            # ever face this machine.
             raise BackendError(
                 f"refusing to serve the work queue on non-loopback "
                 f"{host!r} without a shared token (pass token=... / "
@@ -531,50 +646,96 @@ class EvalCoordinator(CacheServer):
         self.queue = WorkQueue(lease_timeout=lease_timeout)
         self.fallback_workers = fallback_workers
         self.fallback_grace = fallback_grace
-        self._run_lock = threading.Lock()
+        self.default_tenant = default_tenant
+        if job_store is not None and not hasattr(job_store, "restore"):
+            from repro.quantum.execution.jobstore import JobStore
+
+            job_store = JobStore(job_store)
+        self.job_store = job_store
+        if tenants is not None:
+            for name, priority in tenants.priorities().items():
+                self.queue.set_lane_priority(name, priority)
         super().__init__(
             cache_dir, host=host, port=port, limits=limits, quiet=quiet,
-            token=token,
+            token=token, tenants=tenants, service=service,
         )
 
     def _handler_attrs(self) -> dict:
-        return {"queue": self.queue}
+        return {"queue": self.queue, "job_store": self.job_store}
 
-    def run_chunks(self, payloads: list[bytes], on_result=None) -> list:
+    def run_chunks(
+        self, payloads: list[bytes], on_result=None, tenant: str = ""
+    ) -> list:
         """Queue encoded chunks; return their decoded results in input order.
 
         Blocks until every chunk folds.  ``on_result(completed_count,
         result)`` fires in completion order, mirroring
         :func:`repro.utils.parallel.parallel_map`.  Results arriving for a
         requeued chunk's *stale* lease were already rejected by the queue, so
-        each slot is written exactly once.  Concurrent calls are serialized
-        on an internal lock (there is one shared result stream, so two
-        interleaved folding loops would steal each other's completions);
-        sequential reuse — the report driver evaluating arm after arm — is
-        the designed pattern.
-        """
-        with self._run_lock:
-            return self._run_chunks_locked(payloads, on_result)
+        each slot is written exactly once.  Concurrent calls are safe: each
+        run's folding loop consumes only its own chunks' completions
+        (``next_result(within=...)``), so two tenants' runs share the
+        scheduler without stealing each other's results.
 
-    def _run_chunks_locked(self, payloads: list[bytes], on_result) -> list:
+        ``tenant`` names the fair-share lane the chunks queue into
+        (default: the coordinator's ``default_tenant``).  With a job store
+        attached, every chunk is persisted before it is queued and its
+        outcome persisted before it is folded; chunks whose outcomes
+        already sit in the store (a previous run died after executing
+        them) are *restored* — re-folded from disk, never re-executed —
+        which is what makes a killed-and-restarted coordinator
+        bit-identical to an uninterrupted run.  Records are dropped only
+        when the whole run returns.
+        """
+        lane = tenant or self.default_tenant
+        store = self.job_store
         queue = self.queue
-        index_of = {
-            qi: local for local, qi in enumerate(queue.add_chunks(payloads))
-        }
         results: list = [None] * len(payloads)
+        digests: list[str | None] = [None] * len(payloads)
+        restored: dict[int, tuple] = {}
+        to_queue: list[int] = []
+        if store is not None:
+            for local, payload in enumerate(payloads):
+                digests[local] = store.digest_of(payload)
+                outcome = store.restore(digests[local])
+                if outcome is not None:
+                    restored[local] = outcome
+                else:
+                    store.record(digests[local], payload, lane)
+                    to_queue.append(local)
+        else:
+            to_queue = list(range(len(payloads)))
+        index_of = dict(
+            zip(
+                queue.add_chunks([payloads[i] for i in to_queue], lane=lane),
+                to_queue,
+            )
+        )
         remaining = set(index_of)
         completed = 0
         fallback = _FallbackPool(self)
         try:
+            for local in sorted(restored):
+                results[local] = _fold_outcome(restored[local])
+                completed += 1
+                if on_result is not None:
+                    on_result(completed, results[local])
             while remaining:
-                item = queue.next_result(timeout=0.05)
+                item = queue.next_result(timeout=0.05, within=remaining)
                 if item is not None:
                     qi, outcome = item
-                    local = index_of.get(qi)
-                    if local is None or qi not in remaining:
-                        # A straggler from an earlier (aborted) run on this
-                        # coordinator; its slot is gone — drop, don't crash.
-                        continue
+                    local = index_of[qi]
+                    if store is not None:
+                        # Persist before folding: _fold_outcome may raise
+                        # (an "err" outcome), and even then a restart must
+                        # re-serve this outcome, not re-execute the chunk.
+                        store.complete(
+                            digests[local],
+                            pickle.dumps(
+                                outcome, protocol=pickle.HIGHEST_PROTOCOL
+                            ),
+                            lane,
+                        )
                     results[local] = _fold_outcome(outcome)
                     remaining.discard(qi)
                     completed += 1
@@ -590,6 +751,10 @@ class EvalCoordinator(CacheServer):
             # uselessly executed) by the next run's workers, and retained
             # payloads would grow the queue for the coordinator's lifetime.
             queue.retire(index_of)
+        if store is not None:
+            # Reached only when every slot folded cleanly; an abort (or an
+            # "err" outcome re-raised above) keeps the records for resume.
+            store.forget(d for d in digests if d is not None)
         return results
 
     def _fallback_due(self, waited: float) -> bool:
@@ -700,6 +865,9 @@ class DispatchClient:
     Transient transport errors return ``None``/``False`` so the worker loop
     retries; a 401/403 raises :class:`~repro.errors.BackendError` immediately
     — a worker with the wrong token must crash loudly, not poll forever.
+    A 429 is neither: the coordinator is healthy but this tenant is over
+    its limit, so the client records a bounded pause (``pause_hint``)
+    honoring ``Retry-After`` and does **not** count an error.
     ``token`` falls back to ``REPRO_CACHE_TOKEN``.
     """
 
@@ -717,6 +885,14 @@ class DispatchClient:
         self.token = resolve_token(token)
         self.timeout = timeout
         self.errors = 0
+        self.throttles = 0
+        self._pause_until = 0.0
+        self._lock = threading.Lock()
+
+    def pause_hint(self) -> float:
+        """Seconds the worker loop should sit out after a 429 (0.0: none)."""
+        with self._lock:
+            return max(0.0, self._pause_until - time.monotonic())
 
     def lease(self, worker: str = "") -> dict | None:
         """One lease attempt: the response document, or ``None`` on a
@@ -775,21 +951,38 @@ class DispatchClient:
             ) as response:
                 return json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            code = exc.code
+            code, retry_after = exc.code, parse_retry_after(exc.headers)
             exc.close()
             if code in (401, 403):
                 raise_auth_error("coordinator", self.base_url, code)
+            if code == 429:
+                self._record_throttle(retry_after)
+                return None
             self.errors += 1
             return None
         except (urllib.error.URLError, OSError, TimeoutError, ValueError):
             self.errors += 1
             return None
 
+    def _record_throttle(self, retry_after: float | None) -> None:
+        delay = (
+            DEFAULT_THROTTLE_BACKOFF if retry_after is None else retry_after
+        )
+        delay = min(delay, MAX_THROTTLE_BACKOFF)
+        with self._lock:
+            self.throttles += 1
+            self._pause_until = max(
+                self._pause_until, time.monotonic() + delay
+            )
+
     def _headers(self, **extra: str) -> dict[str, str]:
         return bearer_headers(self.token, **extra)
 
     def __repr__(self) -> str:
-        return f"DispatchClient(url='{self.base_url}', errors={self.errors})"
+        return (
+            f"DispatchClient(url='{self.base_url}', errors={self.errors}, "
+            f"throttles={self.throttles})"
+        )
 
 
 def run_worker(
@@ -854,7 +1047,9 @@ def run_worker(
                 idle_since = idle_since if idle_since is not None else now
                 if max_idle is not None and now - idle_since >= max_idle:
                     return
-                stop.wait(poll_interval)
+                # A throttled tenant sits out the server's advertised
+                # Retry-After window instead of hammering the poll loop.
+                stop.wait(max(poll_interval, client.pause_hint()))
                 continue
             idle_since = None
             lease_id = int(document["lease"])

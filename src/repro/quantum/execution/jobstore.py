@@ -1,0 +1,199 @@
+"""Persistent job store: queued/leased work that survives a coordinator kill.
+
+Each chunk a coordinator accepts for execution is recorded as one JSON
+file, content-addressed by the BLAKE2b digest of its encoded payload,
+in a directory *beside* the disk cache (never inside it — the disk
+cache's eviction sweep globs ``*.json`` in its own directory and would
+treat job files as corrupt entries).  Writes are atomic via the same
+tmp-file + :func:`os.replace` idiom as
+:class:`~repro.quantum.execution.disk_cache.DiskResultCache`, so a
+coordinator killed mid-write leaves either the old record or the new
+one, never a torn file.
+
+Lifecycle of a record:
+
+* ``record()``    — chunk accepted, state ``pending`` (an existing file
+  is left untouched so a completed outcome is never demoted).
+* ``complete()``  — outcome bytes persisted, state ``done``.  This runs
+  *before* the in-memory fold, so a crash between the two re-serves the
+  stored outcome on restart instead of re-executing.
+* ``restore()``   — returns the decoded outcome for ``done`` records.
+* ``forget()``    — the run folded every result; records are deleted.
+
+A restarted coordinator therefore re-runs exactly the chunks that had
+not completed, and re-folds completed ones bit-identically from disk.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import Iterable
+
+__all__ = ["JobStore"]
+
+_STORE_VERSION = 1
+
+
+def _plausible_outcome(outcome: object) -> bool:
+    """Shape check mirroring dispatch's wire codec: ("ok", v) | ("err", e)."""
+    return (
+        isinstance(outcome, tuple)
+        and len(outcome) == 2
+        and outcome[0] in ("ok", "err")
+    )
+
+
+class JobStore:
+    """JSON-per-job persistence for coordinator work, atomic and corruption-tolerant."""
+
+    def __init__(self, job_dir: str | os.PathLike) -> None:
+        self.job_dir = Path(job_dir)
+        self.job_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def digest_of(payload: bytes) -> str:
+        """Content address of an encoded chunk payload."""
+        return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+    def _path(self, digest: str) -> Path:
+        return self.job_dir / f"{digest}.json"
+
+    def _read(self, path: Path) -> dict | None:
+        """Best-effort read; a corrupt or torn file is discarded, not raised."""
+        import json
+
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(document, dict):
+            return None
+        return document
+
+    def _write(self, path: Path, document: dict) -> None:
+        """Atomic publish: write a sibling tmp file, then os.replace over."""
+        import json
+
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            # Persistence is best-effort (full disk must not fail the run);
+            # the chunk simply re-executes after a restart.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def record(self, digest: str, payload: bytes, tenant: str = "") -> None:
+        """Persist an accepted chunk as pending; never demotes a done record."""
+        with self._lock:
+            path = self._path(digest)
+            if path.exists():
+                return
+            self._write(
+                path,
+                {
+                    "version": _STORE_VERSION,
+                    "digest": digest,
+                    "tenant": tenant,
+                    "payload": base64.b64encode(payload).decode("ascii"),
+                    "state": "pending",
+                    "outcome": None,
+                },
+            )
+
+    def complete(self, digest: str, outcome: bytes, tenant: str = "") -> None:
+        """Persist a chunk's outcome bytes and mark it done."""
+        with self._lock:
+            path = self._path(digest)
+            document = self._read(path) or {
+                "version": _STORE_VERSION,
+                "digest": digest,
+                "tenant": tenant,
+                "payload": None,
+            }
+            document["state"] = "done"
+            document["outcome"] = base64.b64encode(outcome).decode("ascii")
+            self._write(path, document)
+
+    def restore(self, digest: str) -> tuple | None:
+        """Decoded outcome of a done record, or None (pending/missing/corrupt)."""
+        with self._lock:
+            document = self._read(self._path(digest))
+        if not document or document.get("state") != "done":
+            return None
+        encoded = document.get("outcome")
+        if not isinstance(encoded, str):
+            return None
+        try:
+            outcome = pickle.loads(base64.b64decode(encoded.encode("ascii")))
+        except Exception:
+            return None
+        if not _plausible_outcome(outcome):
+            return None
+        return outcome
+
+    def pending(self) -> list[tuple[str, bytes, str]]:
+        """All pending records as (digest, payload, tenant), digest-sorted."""
+        rows: list[tuple[str, bytes, str]] = []
+        with self._lock:
+            for path in sorted(self.job_dir.glob("*.json")):
+                document = self._read(path)
+                if not document or document.get("state") != "pending":
+                    continue
+                encoded = document.get("payload")
+                if not isinstance(encoded, str):
+                    continue
+                try:
+                    payload = base64.b64decode(encoded.encode("ascii"))
+                except ValueError:
+                    continue
+                rows.append(
+                    (
+                        str(document.get("digest", path.stem)),
+                        payload,
+                        str(document.get("tenant", "")),
+                    )
+                )
+        return rows
+
+    def forget(self, digests: Iterable[str]) -> None:
+        """Delete records whose results have been folded and returned."""
+        with self._lock:
+            for digest in digests:
+                try:
+                    self._path(digest).unlink()
+                except OSError:
+                    pass
+
+    def counts(self) -> dict[str, int]:
+        """{"pending": n, "done": m} over readable records, for /metrics."""
+        pending = done = 0
+        with self._lock:
+            for path in self.job_dir.glob("*.json"):
+                document = self._read(path)
+                if not document:
+                    continue
+                if document.get("state") == "done":
+                    done += 1
+                elif document.get("state") == "pending":
+                    pending += 1
+        return {"pending": pending, "done": done}
+
+    def __len__(self) -> int:
+        counts = self.counts()
+        return counts["pending"] + counts["done"]

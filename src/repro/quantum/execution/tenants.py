@@ -1,0 +1,349 @@
+"""Multi-tenant admission control for the serving tier.
+
+The fleet transport (:mod:`repro.quantum.execution.remote_cache`,
+:mod:`repro.quantum.execution.dispatch`) historically authenticated one
+trusted caller with a single shared bearer token.  This module adds the
+per-tenant layer on top:
+
+* :class:`Tenant` — one API key plus its rate limit, quotas, fair-share
+  priority, and usage counters.
+* :class:`TokenBucket` — the classic token-bucket limiter on an
+  injectable monotonic clock, so throttle edges are testable without
+  sleeping.
+* :class:`TenantRegistry` — loads a ``tenants.json`` file, authenticates
+  ``Authorization`` headers in constant time over *all* keys, and
+  serialises every counter mutation behind one lock so HTTP handler
+  threads can charge quotas concurrently.
+
+The registry never raises on admission decisions — it answers them — so
+the HTTP handlers own the status codes (``401`` unknown key, ``429``
+throttled or over quota).
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import math
+import re
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "TENANT_FILE_ENV",
+    "Tenant",
+    "TenantRegistry",
+    "TokenBucket",
+    "load_tenants",
+]
+
+# Environment fallback for --tenant-file, mirroring REPRO_CACHE_TOKEN.
+TENANT_FILE_ENV = "REPRO_TENANT_FILE"
+
+# Tenant names become scheduler lane keys and Prometheus label values, so
+# they are restricted to characters that need no escaping in either.
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+# Fields accepted per tenant entry in tenants.json.  Unknown fields are a
+# hard error: a typo like "max_byte" silently granting unlimited quota is
+# exactly the kind of misconfiguration a serving tier must refuse.
+_KNOWN_FIELDS = frozenset(
+    {"name", "key", "rate_per_sec", "burst", "priority", "max_bytes", "max_chunks"}
+)
+
+
+class TokenBucket:
+    """Token-bucket rate limiter with an injectable monotonic clock.
+
+    The bucket starts full (``burst`` tokens) and refills continuously at
+    ``rate`` tokens per second.  :meth:`try_acquire` admits a request when
+    at least ``cost`` tokens are available — *exactly* at the boundary
+    counts as available — and otherwise returns the number of seconds
+    until the deficit refills, suitable for a ``Retry-After`` header.
+
+    The bucket itself is not thread-safe; :class:`TenantRegistry` wraps
+    every call in its own lock.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not rate > 0.0:
+            raise ValueError(f"token bucket rate must be > 0, got {rate!r}")
+        if not burst >= 1.0:
+            raise ValueError(f"token bucket burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        if elapsed > 0.0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; return 0.0 if admitted, else seconds to wait."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (cost - self._tokens) / self.rate
+
+    def peek(self) -> float:
+        """Current token balance (after refill), for stats/metrics."""
+        self._refill()
+        return self._tokens
+
+
+class Tenant:
+    """One API-key principal: identity, limits, and usage counters.
+
+    ``rate_per_sec=None`` disables rate limiting, ``max_bytes=None`` /
+    ``max_chunks=None`` disable the respective quota.  ``priority`` is the
+    fair-share weight of this tenant's scheduler lane: a priority-3 lane
+    is offered up to three chunks per round-robin turn.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key: str,
+        *,
+        rate_per_sec: float | None = None,
+        burst: float | None = None,
+        priority: int = 1,
+        max_bytes: int | None = None,
+        max_chunks: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not _NAME_RE.match(name or ""):
+            raise ValueError(
+                f"tenant name {name!r} must match {_NAME_RE.pattern}"
+            )
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"tenant {name!r} needs a non-empty string key")
+        if priority < 1:
+            raise ValueError(f"tenant {name!r} priority must be >= 1, got {priority}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"tenant {name!r} max_bytes must be >= 0")
+        if max_chunks is not None and max_chunks < 0:
+            raise ValueError(f"tenant {name!r} max_chunks must be >= 0")
+        self.name = name
+        self.key = key
+        self.priority = int(priority)
+        self.max_bytes = max_bytes
+        self.max_chunks = max_chunks
+        self.bucket: TokenBucket | None = None
+        if rate_per_sec is not None:
+            self.bucket = TokenBucket(
+                rate_per_sec,
+                burst if burst is not None else max(rate_per_sec, 1.0),
+                clock=clock,
+            )
+        elif burst is not None:
+            raise ValueError(f"tenant {name!r} sets burst without rate_per_sec")
+        # Usage counters, mutated only under the registry lock.
+        self.requests = 0
+        self.throttled = 0
+        self.quota_denials = 0
+        self.bytes_used = 0
+        self.chunks_used = 0
+        self.evictions = 0
+
+    def snapshot(self) -> dict:
+        """Counter snapshot for /stats and /metrics (call via the registry)."""
+        return {
+            "name": self.name,
+            "priority": self.priority,
+            "requests": self.requests,
+            "throttled": self.throttled,
+            "quota_denials": self.quota_denials,
+            "bytes_used": self.bytes_used,
+            "chunks_used": self.chunks_used,
+            "evictions": self.evictions,
+            "max_bytes": self.max_bytes,
+            "max_chunks": self.max_chunks,
+        }
+
+
+def _parse_tenant(entry: Mapping, clock: Callable[[], float]) -> Tenant:
+    if not isinstance(entry, Mapping):
+        raise ValueError(f"tenant entry must be an object, got {type(entry).__name__}")
+    unknown = set(entry) - _KNOWN_FIELDS
+    if unknown:
+        raise ValueError(
+            f"tenant entry has unknown fields {sorted(unknown)}; "
+            f"known fields are {sorted(_KNOWN_FIELDS)}"
+        )
+    rate = entry.get("rate_per_sec")
+    burst = entry.get("burst")
+    return Tenant(
+        str(entry.get("name", "")),
+        entry.get("key", ""),
+        rate_per_sec=float(rate) if rate is not None else None,
+        burst=float(burst) if burst is not None else None,
+        priority=int(entry.get("priority", 1)),
+        max_bytes=int(entry["max_bytes"]) if entry.get("max_bytes") is not None else None,
+        max_chunks=int(entry["max_chunks"]) if entry.get("max_chunks") is not None else None,
+        clock=clock,
+    )
+
+
+class TenantRegistry:
+    """Authenticates API keys and arbitrates per-tenant limits.
+
+    One lock serialises every admission decision and counter update;
+    handler threads call into the registry concurrently.  Authentication
+    compares the supplied header against *every* tenant key with
+    :func:`hmac.compare_digest` and never exits early, so timing does not
+    reveal which (if any) key prefix matched.
+    """
+
+    def __init__(
+        self,
+        tenants: Iterable[Tenant],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._tenants: list[Tenant] = list(tenants)
+        self._clock = clock
+        self._lock = threading.Lock()
+        names = [t.name for t in self._tenants]
+        keys = [t.key for t in self._tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in registry: {sorted(names)}")
+        if len(set(keys)) != len(keys):
+            raise ValueError("duplicate tenant API keys in registry")
+        # Precomputed expected Authorization header bytes per tenant.
+        self._expected = [
+            (t, f"Bearer {t.key}".encode("utf-8", "surrogateescape"))
+            for t in self._tenants
+        ]
+
+    @classmethod
+    def from_file(
+        cls, path: str | Path, clock: Callable[[], float] = time.monotonic
+    ) -> "TenantRegistry":
+        """Load ``tenants.json``: ``{"tenants": [...]}`` or a bare list."""
+        raw = Path(path).read_text(encoding="utf-8")
+        try:
+            document = json.loads(raw)
+        except ValueError as exc:
+            raise ValueError(f"tenant file {path} is not valid JSON: {exc}") from exc
+        if isinstance(document, Mapping):
+            entries = document.get("tenants")
+        else:
+            entries = document
+        if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+            raise ValueError(
+                f"tenant file {path} must hold a list of tenant objects "
+                '(top-level or under a "tenants" key)'
+            )
+        return cls((_parse_tenant(entry, clock) for entry in entries), clock=clock)
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def names(self) -> list[str]:
+        return [t.name for t in self._tenants]
+
+    def priorities(self) -> dict[str, int]:
+        """Fair-share lane weights, keyed by tenant name."""
+        return {t.name: t.priority for t in self._tenants}
+
+    def authenticate(self, authorization: str) -> Tenant | None:
+        """Match an ``Authorization`` header to a tenant, in constant time.
+
+        Every registered key is compared regardless of earlier matches so
+        the comparison count never depends on the supplied value.
+        """
+        supplied = (authorization or "").encode("utf-8", "surrogateescape")
+        matched: Tenant | None = None
+        for tenant, expected in self._expected:
+            if hmac.compare_digest(supplied, expected):
+                matched = tenant
+        return matched
+
+    # -- admission primitives (each takes the lock once) ------------------
+
+    def count_request(self, tenant: Tenant) -> None:
+        with self._lock:
+            tenant.requests += 1
+
+    def throttle(self, tenant: Tenant) -> float | None:
+        """Charge one request against the tenant's rate limit.
+
+        Returns ``None`` when admitted, otherwise the (ceil'd, >= 1)
+        ``Retry-After`` seconds until a token is available.
+        """
+        with self._lock:
+            if tenant.bucket is None:
+                return None
+            wait = tenant.bucket.try_acquire(1.0)
+            if wait <= 0.0:
+                return None
+            tenant.throttled += 1
+            return float(max(1, math.ceil(wait)))
+
+    def charge_bytes(self, tenant: Tenant, nbytes: int) -> bool:
+        """Charge an upload against the byte quota; False when exhausted."""
+        with self._lock:
+            if (
+                tenant.max_bytes is not None
+                and tenant.bytes_used + nbytes > tenant.max_bytes
+            ):
+                tenant.quota_denials += 1
+                return False
+            tenant.bytes_used += nbytes
+            return True
+
+    def try_charge_chunk(self, tenant: Tenant) -> bool:
+        """Reserve one chunk lease against the chunk quota; False when spent."""
+        with self._lock:
+            if (
+                tenant.max_chunks is not None
+                and tenant.chunks_used + 1 > tenant.max_chunks
+            ):
+                tenant.quota_denials += 1
+                return False
+            tenant.chunks_used += 1
+            return True
+
+    def refund_chunk(self, tenant: Tenant) -> None:
+        """Return a reserved chunk (the lease came back empty)."""
+        with self._lock:
+            if tenant.chunks_used > 0:
+                tenant.chunks_used -= 1
+
+    def credit_evictions(self, tenant: Tenant, count: int) -> None:
+        """Attribute disk-cache evictions triggered by this tenant's upload."""
+        if count <= 0:
+            return
+        with self._lock:
+            tenant.evictions += count
+
+    def snapshot(self) -> list[dict]:
+        """Per-tenant counter snapshots, in registry order."""
+        with self._lock:
+            return [t.snapshot() for t in self._tenants]
+
+
+def load_tenants(
+    path: str | Path | None,
+    clock: Callable[[], float] = time.monotonic,
+) -> TenantRegistry | None:
+    """Resolve a tenant registry from an explicit path or $REPRO_TENANT_FILE."""
+    import os
+
+    candidate = path or os.environ.get(TENANT_FILE_ENV) or None
+    if not candidate:
+        return None
+    return TenantRegistry.from_file(candidate, clock=clock)

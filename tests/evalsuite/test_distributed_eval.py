@@ -355,6 +355,70 @@ class TestFaultInjection:
             coordinator.stop()
 
 
+class TestRestartResume:
+    def test_killed_coordinator_resumes_bit_identically_from_job_store(
+        self, tmp_path, fresh_service, bank, settings, serial_reference
+    ):
+        """Acceptance for the job-store tentpole: a coordinator killed with
+        queued *and* leased chunks (one outcome already persisted) is
+        restarted over the same job store, and the resumed evaluation is
+        bit-identical to the uninterrupted serial run — the persisted chunk
+        re-folds from disk, the rest re-execute."""
+        from repro.quantum.execution.dispatch import encode_chunk
+        from repro.quantum.execution.jobstore import JobStore
+
+        job_dir = tmp_path / "jobs"
+        # The exact payloads evaluate() will build for this settings/bank.
+        payloads = [
+            encode_chunk(_run_task_chunk, (settings, task)) for task in bank
+        ]
+        digests = [JobStore.digest_of(p) for p in payloads]
+
+        # --- first life: accept every chunk, complete exactly one ---------
+        first = EvalCoordinator(
+            tmp_path / "store1", fallback_workers=0, job_store=job_dir,
+            lease_timeout=30.0,
+        ).start()
+        for digest, payload in zip(digests, payloads):
+            first.job_store.record(digest, payload)
+        first.queue.add_chunks(payloads)
+        client = DispatchClient(first.url)
+        # A real worker executes chunk 0 over HTTP and the outcome is
+        # persisted (the folding loop writes the store *before* folding)...
+        done = client.lease("worker-1")
+        outcome = run_chunk_payload(base64.b64decode(done["payload"]))
+        assert client.complete(int(done["lease"]), outcome, "worker-1")
+        folded = first.queue.next_result(timeout=5)
+        assert folded is not None and folded[0] == int(done["chunk"])
+        first.job_store.complete(
+            digests[folded[0]],
+            pickle.dumps(folded[1], protocol=pickle.HIGHEST_PROTOCOL),
+        )
+        # ...a second chunk is mid-execution (leased, never completed)...
+        leased = client.lease("worker-2")
+        assert leased and not leased.get("empty")
+        # ...and the coordinator dies: in-memory queue and leases vanish,
+        # only the job store survives.
+        first.stop()
+        assert JobStore(job_dir).counts() == {"pending": 2, "done": 1}
+
+        # --- second life: same job store, fresh everything else -----------
+        second = make_coordinator(
+            tmp_path, job_store=job_dir, fallback_workers=1,
+            fallback_grace=0.05,
+        )
+        try:
+            result = evaluate(settings, bank, coordinator=second)
+        finally:
+            second.stop()
+        assert_identical(result, serial_reference)
+        # Only the two unfinished chunks were ever queued for execution;
+        # the completed one was restored from disk, not re-run.
+        assert second.queue.status()["total"] == len(bank) - 1
+        # A cleanly resumed run retires its records.
+        assert len(JobStore(job_dir)) == 0
+
+
 class TestChunkCodec:
     def test_failing_chunk_reraises_at_fold_time(self, tmp_path):
         from repro.quantum.execution.dispatch import decode_result, encode_chunk

@@ -156,6 +156,34 @@ class TestEvictionInvariants:
         assert disk.get(stale) is None
         assert disk.get(fresh) is not None
 
+    def test_age_sweep_deadline_runs_on_the_monotonic_clock(self, tmp_path):
+        """Regression: the periodic age-sweep deadline was compared against
+        wall-clock time.time(), so a backwards clock step (NTP correction,
+        VM resume) deferred age eviction indefinitely.  The deadline now
+        lives on an injectable monotonic clock: entry *ages* stay mtime vs
+        wall time, but "is the next sweep due" follows monotonic time only.
+        """
+        clock = [0.0]
+        limits = CacheLimits(max_age_seconds=3600)
+        disk = DiskResultCache(tmp_path, limits=limits, clock=lambda: clock[0])
+        rng = _rng("sweepclock")
+        stale, k2, k3 = random_key(rng), random_key(rng), random_key(rng)
+        disk.put(stale, {"0": 1}, None)  # first put: sweep runs, rearms at 60
+        old = 1_000_000_000.0
+        os.utime(disk.path_for(stale), (old, old))
+        clock[0] = 10.0  # before the rearmed deadline: no sweep
+        disk.put(k2, {"0": 1}, None)
+        # Existence via the path, not get(): a get would touch the mtime
+        # and un-stale the very entry the sweep is supposed to evict.
+        assert disk.path_for(stale).exists()
+        # However far backwards the wall clock steps, the monotonic deadline
+        # still arrives: advance past it and the stale entry is swept.
+        clock[0] = 61.0
+        disk.put(k3, {"0": 1}, None)
+        assert not disk.path_for(stale).exists()
+        assert disk.get(k2) is not None
+        assert disk.get(k3) is not None
+
     def test_prune_without_bounds_is_a_noop(self, tmp_path):
         disk = DiskResultCache(tmp_path)
         disk.put(random_key(_rng("noop")), {"0": 1}, None)

@@ -280,7 +280,7 @@ class TestTransportHardening:
             status = client.status()
             assert status == {
                 "total": 1, "pending": 1, "leased": 0, "done": 0,
-                "requeues": 0, "workers": 0,
+                "requeues": 0, "workers": 0, "lanes": {"": 1},
             }
 
     def test_malformed_work_requests_are_400(self, tmp_path):
@@ -516,13 +516,14 @@ class TestTransportHardening:
             # Payloads were released (a long-lived coordinator stays lean).
             assert all(p == b"" for p in coordinator.queue._payloads)
 
-    def test_concurrent_run_chunks_serialize_instead_of_starving(
+    def test_concurrent_run_chunks_each_get_their_own_results(
         self, tmp_path
     ):
         """Regression: two overlapping run_chunks calls used to steal each
-        other's completions from the shared result stream and hang; they now
-        serialize on the coordinator's run lock, each returning its own
-        results."""
+        other's completions from the shared result stream and hang; each
+        folding loop now consumes only its own chunks' completions
+        (next_result(within=...)), so concurrent runs — two tenants
+        sharing one coordinator — interleave safely."""
         from repro.quantum.execution import EvalCoordinator
         from repro.quantum.execution.dispatch import encode_chunk
 

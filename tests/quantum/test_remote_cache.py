@@ -193,6 +193,100 @@ class TestClientHardening:
         with pytest.raises(ValueError, match="http"):
             RemoteResultCache("ftp://somewhere")
 
+    def test_stats_counts_malformed_json_as_failure(self, monkeypatch):
+        """Regression: a misbehaving proxy answering 200s full of HTML used
+        to make stats() return None silently — indistinguishable from "no
+        server".  It must count towards errors and the offline breaker."""
+        import io
+
+        class _HtmlResponse(io.BytesIO):
+            def __init__(self):
+                super().__init__(b"<html>proxy error</html>")
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+        attempts = []
+
+        def html_urlopen(*args, **kwargs):
+            attempts.append(1)
+            return _HtmlResponse()
+
+        monkeypatch.setattr(urllib.request, "urlopen", html_urlopen)
+        client = RemoteResultCache(
+            "http://cache.invalid:1", offline_after=3, retry_interval=3600
+        )
+        for _ in range(3):
+            assert client.stats() is None
+        assert client.errors == 3
+        # Three malformed responses engaged the breaker like a dead socket:
+        # the next get() is an instant local miss, no network attempt.
+        before = len(attempts)
+        assert client.get(_key()) is None
+        assert len(attempts) == before
+
+    def test_stats_still_none_and_quiet_on_dead_server(self):
+        client = RemoteResultCache(_dead_url(), timeout=0.5)
+        assert client.stats() is None
+        assert client.errors == 1
+
+
+class TestServerLifecycle:
+    """close()/stop() in every state, and EADDRINUSE-free restarts."""
+
+    def _reserved_port(self) -> int:
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_start_stop_start_on_a_fixed_port(self, tmp_path):
+        """Regression: stop() used to leave lifecycle edge cases (and a
+        never-started server would deadlock in socketserver's shutdown);
+        a back-to-back restart on the same fixed port must just work."""
+        port = self._reserved_port()
+        first = CacheServer(tmp_path / "a", port=port).start()
+        RemoteResultCache(first.url).put(_key(), {"0": 64}, None)
+        first.close()
+        second = CacheServer(tmp_path / "b", port=port).start()
+        try:
+            client = RemoteResultCache(second.url)
+            client.put(_key(1), {"0": 32}, None)
+            assert client.get(_key(1)) is not None
+            assert client.errors == 0
+        finally:
+            second.close()
+
+    def test_stop_before_start_does_not_hang(self, tmp_path):
+        server = CacheServer(tmp_path)
+        server.stop()  # must return immediately, not deadlock
+
+    def test_stop_is_idempotent_and_start_after_close_refuses(self, tmp_path):
+        from repro.errors import BackendError
+
+        server = CacheServer(tmp_path).start()
+        server.stop()
+        server.stop()
+        server.close()
+        with pytest.raises(BackendError, match="closed"):
+            server.start()
+
+    def test_socket_is_released_immediately(self, tmp_path):
+        server = CacheServer(tmp_path).start()
+        port = server.port
+        server.close()
+        # The listening socket is gone: binding the same port succeeds.
+        probe = socket.socket()
+        try:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", port))
+        finally:
+            probe.close()
+
 
 class TestAuth:
     """Shared-token auth: every endpoint, wrong/missing token, env wiring."""
@@ -218,6 +312,7 @@ class TestAuth:
                 ("PUT", f"/entry/{key_digest(_key())}",
                  json.dumps(encode_entry(_key(), {"0": 1}, None)).encode()),
                 ("GET", "/stats", None),
+                ("GET", "/metrics", None),
                 ("GET", "/work/status", None),
                 ("POST", "/work/lease", b'{"worker": "w"}'),
                 ("POST", "/work/heartbeat", b'{"lease": 1}'),
